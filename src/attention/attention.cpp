@@ -1,0 +1,71 @@
+#include "attention/attention.h"
+
+#include "base/logging.h"
+
+namespace vitality {
+
+OpCounts &
+OpCounts::operator+=(const OpCounts &o)
+{
+    mul += o.mul;
+    add += o.add;
+    div += o.div;
+    exp += o.exp;
+    return *this;
+}
+
+OpCounts
+OpCounts::operator+(const OpCounts &o) const
+{
+    OpCounts out = *this;
+    out += o;
+    return out;
+}
+
+OpCounts
+OpCounts::operator*(uint64_t k) const
+{
+    return {mul * k, add * k, div * k, exp * k};
+}
+
+std::string
+processorName(ProcessorKind kind)
+{
+    switch (kind) {
+      case ProcessorKind::Acc:
+        return "Acc.";
+      case ProcessorKind::Div:
+        return "Div.";
+      case ProcessorKind::Add:
+        return "Add.";
+      case ProcessorKind::Exp:
+        return "Exp.";
+    }
+    panic("unknown ProcessorKind %d", static_cast<int>(kind));
+}
+
+std::string
+attentionTypeName(AttentionType type)
+{
+    switch (type) {
+      case AttentionType::Softmax:
+        return "Softmax";
+      case AttentionType::Taylor:
+        return "Taylor";
+      case AttentionType::SangerSparse:
+        return "SangerSparse";
+      case AttentionType::Unified:
+        return "Unified";
+      case AttentionType::Performer:
+        return "Performer";
+      case AttentionType::LinearTransformer:
+        return "LinearTransformer";
+      case AttentionType::Efficient:
+        return "Efficient";
+      case AttentionType::Linformer:
+        return "Linformer";
+    }
+    panic("unknown AttentionType %d", static_cast<int>(type));
+}
+
+} // namespace vitality

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Common interface for all attention kernels (the "attention zoo").
+ *
+ * Every kernel maps per-head (Q, K, V), each n x d, to an n x d score
+ * matrix Z, and can report:
+ *   - analytic operation counts (multiplies / adds / divides / exps) used
+ *     by Table I, Eq. (1)-(3), and Table IV of the paper; and
+ *   - the set of pre/post-processor chunks an accelerator needs to run it,
+ *     which reproduces Table VI.
+ *
+ * Kernels are stateless with respect to the input (Performer / Linformer
+ * hold fixed random projections seeded at construction), so one instance
+ * can be shared across layers and heads.
+ */
+
+#ifndef VITALITY_ATTENTION_ATTENTION_H
+#define VITALITY_ATTENTION_ATTENTION_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/matrix.h"
+
+namespace vitality {
+
+/**
+ * Operation counts for one attention invocation.
+ *
+ * Counts follow the paper's accounting (Section IV-A): multiplications
+ * from matrix products, additions from accumulations and element-wise
+ * sums, divisions from normalization, and exponentiations from softmax.
+ */
+struct OpCounts
+{
+    uint64_t mul = 0;
+    uint64_t add = 0;
+    uint64_t div = 0;
+    uint64_t exp = 0;
+
+    OpCounts &operator+=(const OpCounts &o);
+    OpCounts operator+(const OpCounts &o) const;
+    /** Scale all counts, e.g. by heads x layers. */
+    OpCounts operator*(uint64_t k) const;
+
+    uint64_t total() const { return mul + add + div + exp; }
+
+    /**
+     * MAC-style FLOP count used for Table IV: multiplications only, the
+     * convention under which the paper's 0.50G / 0.33G figures line up
+     * with Table I.
+     */
+    uint64_t flops() const { return mul; }
+};
+
+/**
+ * Pre/post-processor chunk kinds an accelerator must provide (Table VI).
+ * Acc = column-wise accumulator, Div = divider array, Add = adder array,
+ * Exp = exponentiation unit.
+ */
+enum class ProcessorKind { Acc, Div, Add, Exp };
+
+/** Human-readable name ("Acc.", "Div.", "Add.", "Exp."). */
+std::string processorName(ProcessorKind kind);
+
+/** Identifiers for the built-in attention kernels. */
+enum class AttentionType
+{
+    Softmax,           ///< Vanilla quadratic softmax attention (BASELINE).
+    Taylor,            ///< ViTALiTy linear Taylor attention (Algorithm 1).
+    SangerSparse,      ///< Sanger-style dynamic sparse attention (SPARSE).
+    Unified,           ///< Training-time low-rank + sparse (ViTALiTy train).
+    Performer,         ///< Positive orthogonal random features.
+    LinearTransformer, ///< phi(x) = elu(x) + 1 kernel attention.
+    Efficient,         ///< softmax(Q) (softmax(K)^T V).
+    Linformer,         ///< Low-rank projection of K / V.
+};
+
+/** Name used in tables ("Softmax", "Taylor", ...). */
+std::string attentionTypeName(AttentionType type);
+
+/** Abstract attention kernel: per-head (Q, K, V) -> Z. */
+class AttentionKernel
+{
+  public:
+    virtual ~AttentionKernel() = default;
+
+    /** Kernel identifier. */
+    virtual AttentionType type() const = 0;
+
+    /** Display name for benches/tables. */
+    virtual std::string name() const { return attentionTypeName(type()); }
+
+    /**
+     * Compute the attention score for one head.
+     *
+     * @param q Queries, n x d.
+     * @param k Keys, n x d.
+     * @param v Values, n x d.
+     * @return Attention score Z, n x d.
+     */
+    virtual Matrix forward(const Matrix &q, const Matrix &k,
+                           const Matrix &v) const = 0;
+
+    /** Analytic per-head op counts for a sequence of n tokens, dim d. */
+    virtual OpCounts opCounts(size_t n, size_t d) const = 0;
+
+    /** Processor chunks required on an accelerator (Table VI). */
+    virtual std::vector<ProcessorKind> processors() const = 0;
+};
+
+using AttentionKernelPtr = std::shared_ptr<AttentionKernel>;
+
+} // namespace vitality
+
+#endif // VITALITY_ATTENTION_ATTENTION_H

@@ -1,0 +1,272 @@
+#include "attention/linear_attentions.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "base/rng.h"
+#include "tensor/ops.h"
+
+namespace vitality {
+
+namespace {
+
+/**
+ * Shared tail of every kernelized linear attention:
+ * Z = diag^-1(phi_q (phi_k^T 1)) phi_q (phi_k^T V).
+ */
+Matrix
+normalizedLinearAttention(const Matrix &phi_q, const Matrix &phi_k,
+                          const Matrix &v)
+{
+    const Matrix context = matmulAT(phi_k, v);            // m x d
+    const Matrix ksum = colSum(phi_k);                    // 1 x m
+    Matrix denom = matmulBT(phi_q, ksum);                 // n x 1
+    // Guard fully-degenerate rows; phi is non-negative for all kernels
+    // here so the sum can only be ~0 when every feature vanished.
+    for (size_t r = 0; r < denom.rows(); ++r)
+        denom(r, 0) = std::max(denom(r, 0), 1e-12f);
+    return divRows(matmul(phi_q, context), denom);
+}
+
+/** Gram-Schmidt orthonormalization of the rows of m (in d-sized blocks). */
+Matrix
+orthogonalizeRows(Matrix m)
+{
+    const size_t rows = m.rows(), d = m.cols();
+    for (size_t block = 0; block < rows; block += d) {
+        const size_t end = std::min(block + d, rows);
+        for (size_t i = block; i < end; ++i) {
+            for (size_t j = block; j < i; ++j) {
+                float dot = 0.0f;
+                for (size_t c = 0; c < d; ++c)
+                    dot += m(i, c) * m(j, c);
+                for (size_t c = 0; c < d; ++c)
+                    m(i, c) -= dot * m(j, c);
+            }
+            float norm = 0.0f;
+            for (size_t c = 0; c < d; ++c)
+                norm += m(i, c) * m(i, c);
+            norm = std::sqrt(std::max(norm, 1e-20f));
+            for (size_t c = 0; c < d; ++c)
+                m(i, c) /= norm;
+        }
+    }
+    return m;
+}
+
+} // namespace
+
+// --- Performer ------------------------------------------------------------
+
+PerformerAttention::PerformerAttention(size_t num_features, uint64_t seed)
+    : numFeatures_(num_features), seed_(seed)
+{
+}
+
+size_t
+PerformerAttention::featuresFor(size_t d) const
+{
+    return numFeatures_ == 0 ? d : numFeatures_;
+}
+
+const Matrix &
+PerformerAttention::projection(size_t d) const
+{
+    auto it = projectionCache_.find(d);
+    if (it == projectionCache_.end()) {
+        const size_t m = featuresFor(d);
+        Rng rng(seed_ ^ (0xd00dULL * d));
+        Matrix w = orthogonalizeRows(Matrix::randn(m, d, rng));
+        // FAVOR+ scales rows to the deterministic norm sqrt(d), the
+        // "regularized" orthogonal-feature variant.
+        const float scale_factor = std::sqrt(static_cast<float>(d));
+        w = scale(w, scale_factor);
+        it = projectionCache_.emplace(d, std::move(w)).first;
+    }
+    return it->second;
+}
+
+Matrix
+PerformerAttention::forward(const Matrix &q, const Matrix &k,
+                            const Matrix &v) const
+{
+    if (q.cols() != k.cols() || k.rows() != v.rows())
+        throw std::invalid_argument("performer: shape mismatch");
+
+    const size_t d = q.cols();
+    const size_t m = featuresFor(d);
+    const Matrix &w = projection(d);
+    // x~ = x / d^(1/4) so that phi(q) phi(k)^T estimates exp(q k^T/sqrt(d)).
+    const float input_scale =
+        1.0f / std::pow(static_cast<float>(d), 0.25f);
+    const float feat_scale = 1.0f / std::sqrt(static_cast<float>(m));
+
+    auto features = [&](const Matrix &x) {
+        const Matrix xs = scale(x, input_scale);
+        Matrix proj = matmulBT(xs, w);       // n x m
+        const Matrix sq = rowSum(hadamard(xs, xs)); // n x 1, |x~|^2
+        Matrix phi(proj.rows(), proj.cols());
+        for (size_t r = 0; r < proj.rows(); ++r) {
+            const float half_sq = 0.5f * sq(r, 0);
+            for (size_t c = 0; c < proj.cols(); ++c)
+                phi(r, c) = std::exp(proj(r, c) - half_sq) * feat_scale;
+        }
+        return phi;
+    };
+
+    return normalizedLinearAttention(features(q), features(k), v);
+}
+
+OpCounts
+PerformerAttention::opCounts(size_t n, size_t d) const
+{
+    const uint64_t m = featuresFor(d);
+    OpCounts c;
+    // phi(Q), phi(K): projections n*m*d each, plus |x|^2 (n*d) each.
+    c.mul = 2ULL * n * m * d + 2ULL * n * d;
+    // context phi(K)^T V: n*m*d; output phi(Q) G: n*m*d; denominator n*m.
+    c.mul += 2ULL * n * m * d + n * m;
+    c.add = 4ULL * n * m * d + 2ULL * n * d + 2ULL * n * m;
+    c.exp = 2ULL * n * m; // feature exponentials for Q and K
+    c.div = 1ULL * n * d; // output normalization
+    return c;
+}
+
+std::vector<ProcessorKind>
+PerformerAttention::processors() const
+{
+    // Table VI row "Performer": Exp. Div. Add.
+    return {ProcessorKind::Exp, ProcessorKind::Div, ProcessorKind::Add};
+}
+
+// --- Linear Transformer -----------------------------------------------------
+
+Matrix
+LinearTransformerAttention::forward(const Matrix &q, const Matrix &k,
+                                    const Matrix &v) const
+{
+    if (q.cols() != k.cols() || k.rows() != v.rows())
+        throw std::invalid_argument("linear transformer: shape mismatch");
+
+    auto elu1 = [](float x) {
+        return x > 0.0f ? x + 1.0f : std::exp(x);
+    };
+    const Matrix phi_q = mapElem(q, elu1);
+    const Matrix phi_k = mapElem(k, elu1);
+    return normalizedLinearAttention(phi_q, phi_k, v);
+}
+
+OpCounts
+LinearTransformerAttention::opCounts(size_t n, size_t d) const
+{
+    OpCounts c;
+    // context K^T V and output Q G.
+    c.mul = 2ULL * n * d * d + n * d;
+    c.add = 2ULL * n * d * d + 3ULL * n * d;
+    c.exp = 2ULL * n * d; // elu's exponential on the negative side
+    c.div = 1ULL * n * d;
+    return c;
+}
+
+std::vector<ProcessorKind>
+LinearTransformerAttention::processors() const
+{
+    // Table VI row "Linear Transformer": Exp. Div. Add.
+    return {ProcessorKind::Exp, ProcessorKind::Div, ProcessorKind::Add};
+}
+
+// --- Efficient Attention ----------------------------------------------------
+
+Matrix
+EfficientAttention::forward(const Matrix &q, const Matrix &k,
+                            const Matrix &v) const
+{
+    if (q.cols() != k.cols() || k.rows() != v.rows())
+        throw std::invalid_argument("efficient attention: shape mismatch");
+
+    const Matrix rho_q = softmaxRows(q);
+    // Column softmax of K == row softmax of K^T, transposed back.
+    const Matrix rho_k = transpose(softmaxRows(transpose(k)));
+    return matmul(rho_q, matmulAT(rho_k, v));
+}
+
+OpCounts
+EfficientAttention::opCounts(size_t n, size_t d) const
+{
+    OpCounts c;
+    c.mul = 2ULL * n * d * d;
+    c.add = 2ULL * n * d * d + 2ULL * n * d;
+    c.exp = 2ULL * n * d; // the two softmaxes
+    c.div = 2ULL * n * d;
+    return c;
+}
+
+std::vector<ProcessorKind>
+EfficientAttention::processors() const
+{
+    // Table VI row "Efficient Attention": Exp. Div.
+    return {ProcessorKind::Exp, ProcessorKind::Div};
+}
+
+// --- Linformer --------------------------------------------------------------
+
+LinformerAttention::LinformerAttention(size_t proj_dim, uint64_t seed)
+    : projDim_(proj_dim), seed_(seed)
+{
+    if (proj_dim == 0)
+        throw std::invalid_argument("linformer: proj_dim must be > 0");
+}
+
+const std::pair<Matrix, Matrix> &
+LinformerAttention::projections(size_t n) const
+{
+    auto it = projectionCache_.find(n);
+    if (it == projectionCache_.end()) {
+        Rng rng(seed_ ^ (0x11f0ULL * n));
+        const float stddev = 1.0f / std::sqrt(static_cast<float>(projDim_));
+        Matrix e = Matrix::randn(projDim_, n, rng, 0.0f, stddev);
+        Matrix f = Matrix::randn(projDim_, n, rng, 0.0f, stddev);
+        it = projectionCache_
+                 .emplace(n, std::make_pair(std::move(e), std::move(f)))
+                 .first;
+    }
+    return it->second;
+}
+
+Matrix
+LinformerAttention::forward(const Matrix &q, const Matrix &k,
+                            const Matrix &v) const
+{
+    if (q.cols() != k.cols() || k.rows() != v.rows())
+        throw std::invalid_argument("linformer: shape mismatch");
+
+    const auto &[e, f] = projections(k.rows());
+    const Matrix k_proj = matmul(e, k); // k x d
+    const Matrix v_proj = matmul(f, v); // k x d
+    const float inv_sqrt_d =
+        1.0f / std::sqrt(static_cast<float>(q.cols()));
+    const Matrix s = softmaxRows(scale(matmulBT(q, k_proj), inv_sqrt_d));
+    return matmul(s, v_proj);
+}
+
+OpCounts
+LinformerAttention::opCounts(size_t n, size_t d) const
+{
+    const uint64_t k = projDim_;
+    OpCounts c;
+    // E K and F V projections, Q K'^T, S V'.
+    c.mul = 2ULL * k * n * d + 2ULL * n * k * d;
+    c.add = 4ULL * n * k * d + n * k;
+    c.exp = 1ULL * n * k;
+    c.div = 1ULL * n * k;
+    return c;
+}
+
+std::vector<ProcessorKind>
+LinformerAttention::processors() const
+{
+    // Table VI row "Linformer": Exp. Div.
+    return {ProcessorKind::Exp, ProcessorKind::Div};
+}
+
+} // namespace vitality

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Linear-attention baselines from the paper's Table IV and Table VI:
+ * Performer (positive orthogonal random features), Linear Transformer
+ * (elu + 1 kernel), Efficient Attention (separate softmaxes on Q and K),
+ * and Linformer (low-rank projection of K / V).
+ *
+ * All four share the associative-trick structure phi(Q) (phi(K)^T V) that
+ * ViTALiTy's Taylor attention also exploits; they differ in the feature
+ * map phi and therefore in the pre/post-processor chunks an accelerator
+ * must provide (Table VI).
+ */
+
+#ifndef VITALITY_ATTENTION_LINEAR_ATTENTIONS_H
+#define VITALITY_ATTENTION_LINEAR_ATTENTIONS_H
+
+#include <cstdint>
+#include <map>
+
+#include "attention/attention.h"
+
+namespace vitality {
+
+/**
+ * Performer attention (Choromanski et al., ICLR'21), FAVOR+ with positive
+ * orthogonal random features:
+ *   phi(x) = exp(W x~ - |x~|^2 / 2) / sqrt(m),  x~ = x / d^(1/4),
+ * where W has m orthogonal rows. Then Z = D^-1 phi(Q) (phi(K)^T V) with
+ * D = diag(phi(Q) (phi(K)^T 1)).
+ */
+class PerformerAttention : public AttentionKernel
+{
+  public:
+    /**
+     * @param num_features Random-feature count m; 0 means "use d".
+     * @param seed Seed for the orthogonal random projections.
+     */
+    explicit PerformerAttention(size_t num_features = 0,
+                                uint64_t seed = 0x9e3779b9ULL);
+
+    AttentionType type() const override { return AttentionType::Performer; }
+
+    Matrix forward(const Matrix &q, const Matrix &k,
+                   const Matrix &v) const override;
+
+    OpCounts opCounts(size_t n, size_t d) const override;
+
+    std::vector<ProcessorKind> processors() const override;
+
+    /** The feature count used for dimension d. */
+    size_t featuresFor(size_t d) const;
+
+  private:
+    /** Orthogonal random features for dimension d (cached per d). */
+    const Matrix &projection(size_t d) const;
+
+    size_t numFeatures_;
+    uint64_t seed_;
+    mutable std::map<size_t, Matrix> projectionCache_;
+};
+
+/**
+ * Linear Transformer attention (Katharopoulos et al., ICML'20):
+ * phi(x) = elu(x) + 1 applied element-wise, then the same normalized
+ * associative product as Performer.
+ */
+class LinearTransformerAttention : public AttentionKernel
+{
+  public:
+    AttentionType type() const override
+    {
+        return AttentionType::LinearTransformer;
+    }
+
+    Matrix forward(const Matrix &q, const Matrix &k,
+                   const Matrix &v) const override;
+
+    OpCounts opCounts(size_t n, size_t d) const override;
+
+    std::vector<ProcessorKind> processors() const override;
+};
+
+/**
+ * Efficient Attention (Shen et al., WACV'21): row-softmax on queries and
+ * column-softmax on keys, Z = softmax_row(Q) (softmax_col(K)^T V). The
+ * normalization is built into the two softmaxes, so no divider pass over
+ * the output is needed.
+ */
+class EfficientAttention : public AttentionKernel
+{
+  public:
+    AttentionType type() const override { return AttentionType::Efficient; }
+
+    Matrix forward(const Matrix &q, const Matrix &k,
+                   const Matrix &v) const override;
+
+    OpCounts opCounts(size_t n, size_t d) const override;
+
+    std::vector<ProcessorKind> processors() const override;
+};
+
+/**
+ * Linformer attention (Wang et al., 2020): fixed random projections
+ * E, F (k x n) reduce the token dimension of keys and values, then
+ * Z = softmax(Q (E K)^T / sqrt(d)) (F V). Complexity O(n k d).
+ */
+class LinformerAttention : public AttentionKernel
+{
+  public:
+    /**
+     * @param proj_dim Projected token count k (Linformer's "k"); 64
+     * matches the paper's Table IV FLOPs for DeiT-Tiny.
+     * @param seed Seed for the fixed Gaussian projections.
+     */
+    explicit LinformerAttention(size_t proj_dim = 64,
+                                uint64_t seed = 0x11f0ULL);
+
+    AttentionType type() const override { return AttentionType::Linformer; }
+
+    Matrix forward(const Matrix &q, const Matrix &k,
+                   const Matrix &v) const override;
+
+    OpCounts opCounts(size_t n, size_t d) const override;
+
+    std::vector<ProcessorKind> processors() const override;
+
+    size_t projDim() const { return projDim_; }
+
+  private:
+    /** Projection pair (E, F) for sequence length n (cached per n). */
+    const std::pair<Matrix, Matrix> &projections(size_t n) const;
+
+    size_t projDim_;
+    uint64_t seed_;
+    mutable std::map<size_t, std::pair<Matrix, Matrix>> projectionCache_;
+};
+
+} // namespace vitality
+
+#endif // VITALITY_ATTENTION_LINEAR_ATTENTIONS_H

@@ -1,0 +1,52 @@
+#include "attention/softmax_attention.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "tensor/ops.h"
+
+namespace vitality {
+
+Matrix
+SoftmaxAttention::similarity(const Matrix &q, const Matrix &k)
+{
+    if (q.cols() != k.cols())
+        throw std::invalid_argument("similarity: Q/K dim mismatch");
+    const float inv_sqrt_d =
+        1.0f / std::sqrt(static_cast<float>(q.cols()));
+    return scale(matmulBT(q, k), inv_sqrt_d);
+}
+
+Matrix
+SoftmaxAttention::attentionMap(const Matrix &q, const Matrix &k)
+{
+    return softmaxRows(similarity(q, k));
+}
+
+Matrix
+SoftmaxAttention::forward(const Matrix &q, const Matrix &k,
+                          const Matrix &v) const
+{
+    if (k.rows() != v.rows())
+        throw std::invalid_argument("forward: K/V token mismatch");
+    return matmul(attentionMap(q, k), v);
+}
+
+OpCounts
+SoftmaxAttention::opCounts(size_t n, size_t d) const
+{
+    OpCounts c;
+    c.mul = 2ULL * n * n * d;          // QK^T and SV
+    c.add = 2ULL * n * n * d + n * n;  // accumulations + softmax denom sums
+    c.div = 1ULL * n * n;              // softmax normalization
+    c.exp = 1ULL * n * n;              // softmax exponentials
+    return c;
+}
+
+std::vector<ProcessorKind>
+SoftmaxAttention::processors() const
+{
+    return {ProcessorKind::Exp, ProcessorKind::Div};
+}
+
+} // namespace vitality

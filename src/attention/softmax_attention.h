@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Vanilla quadratic softmax attention — the paper's BASELINE.
+ *
+ * Z = softmax(Q K^T / sqrt(d)) V, computed in three steps matching Fig. 2:
+ * the n x n similarity matrix, the row-wise softmax, and the score. Costs
+ * are quadratic in the token count n in both time and memory.
+ */
+
+#ifndef VITALITY_ATTENTION_SOFTMAX_ATTENTION_H
+#define VITALITY_ATTENTION_SOFTMAX_ATTENTION_H
+
+#include "attention/attention.h"
+
+namespace vitality {
+
+/** The vanilla softmax attention kernel. */
+class SoftmaxAttention : public AttentionKernel
+{
+  public:
+    AttentionType type() const override { return AttentionType::Softmax; }
+
+    Matrix forward(const Matrix &q, const Matrix &k,
+                   const Matrix &v) const override;
+
+    /**
+     * Per-head counts per the paper's Eq. (1)-(3) numerators:
+     * mul = 2 n^2 d (QK^T and SV), add = 2 n^2 d + n^2 (accumulations plus
+     * the softmax denominator sums), div = n^2, exp = n^2.
+     */
+    OpCounts opCounts(size_t n, size_t d) const override;
+
+    std::vector<ProcessorKind> processors() const override;
+
+    /** The similarity matrix Q K^T / sqrt(d) before softmax, n x n. */
+    static Matrix similarity(const Matrix &q, const Matrix &k);
+
+    /** The softmax attention map S = softmax(similarity), n x n. */
+    static Matrix attentionMap(const Matrix &q, const Matrix &k);
+};
+
+} // namespace vitality
+
+#endif // VITALITY_ATTENTION_SOFTMAX_ATTENTION_H

@@ -1,0 +1,112 @@
+#include "attention/taylor_attention.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "tensor/ops.h"
+
+namespace vitality {
+
+TaylorAttention::TaylorAttention(bool mean_center)
+    : meanCenter_(mean_center)
+{
+}
+
+std::string
+TaylorAttention::name() const
+{
+    return meanCenter_ ? "Taylor" : "Taylor(no-center)";
+}
+
+Matrix
+TaylorAttention::meanCenterKeys(const Matrix &k)
+{
+    return broadcastSubRow(k, colMean(k));
+}
+
+Matrix
+TaylorAttention::forward(const Matrix &q, const Matrix &k,
+                         const Matrix &v) const
+{
+    return forwardDetailed(q, k, v).z;
+}
+
+TaylorAttention::Intermediates
+TaylorAttention::forwardDetailed(const Matrix &q, const Matrix &k,
+                                 const Matrix &v) const
+{
+    if (q.cols() != k.cols())
+        throw std::invalid_argument("taylor: Q/K dim mismatch");
+    if (k.rows() != v.rows())
+        throw std::invalid_argument("taylor: K/V token mismatch");
+
+    const size_t n = q.rows();
+    const size_t d = q.cols();
+    const float sqrt_d = std::sqrt(static_cast<float>(d));
+
+    Intermediates im;
+
+    // Step 1: mean-centering keys. K-bar = (1/n) 1^T K, Khat = K - 1 K-bar.
+    if (meanCenter_) {
+        im.kbar = colMean(k);
+        im.khat = broadcastSubRow(k, im.kbar);
+    } else {
+        im.kbar = Matrix::zeros(1, d);
+        im.khat = k;
+    }
+
+    // Step 2: global context matrix G = Khat^T V, d x d.
+    im.g = matmulAT(im.khat, v);
+
+    // Step 3: column sums of centered keys and of values.
+    im.ksum = colSum(im.khat);
+    im.vsum = colSum(v);
+
+    // Step 4: Taylor denominator t_D = n sqrt(d) 1_n + Q ksum^T, n x 1.
+    im.td = addScalar(matmulBT(q, im.ksum),
+                      static_cast<float>(n) * sqrt_d);
+
+    // Step 5: Taylor numerator T_N = sqrt(d) (1_n vsum) + Q G, n x d.
+    im.tn = broadcastAddRow(matmul(q, im.g), scale(im.vsum, sqrt_d));
+
+    // Step 6: Z = diag^-1(t_D) T_N.
+    im.z = divRows(im.tn, im.td);
+
+    return im;
+}
+
+Matrix
+TaylorAttention::weakAttentionMap(const Matrix &q, const Matrix &khat)
+{
+    const size_t n = q.rows();
+    const size_t d = q.cols();
+    const float sqrt_d = std::sqrt(static_cast<float>(d));
+
+    // Numerator: sqrt(d) 1 1^T + Q Khat^T, n x n.
+    Matrix numer = addScalar(matmulBT(q, khat), sqrt_d);
+    // Denominator: n sqrt(d) 1 + Q khat_sum^T, n x 1.
+    Matrix denom = addScalar(matmulBT(q, colSum(khat)),
+                             static_cast<float>(n) * sqrt_d);
+    return divRows(numer, denom);
+}
+
+OpCounts
+TaylorAttention::opCounts(size_t n, size_t d) const
+{
+    // Costs per Algorithm 1's annotations; matches the denominators of the
+    // paper's Eq. (1)-(3).
+    OpCounts c;
+    c.mul = 2ULL * n * d * d + n * d;       // G, QG (Step 2, 5), Q ksum^T
+    c.add = 2ULL * n * d * d + 7ULL * n * d; // accumulations + pre/post adds
+    c.div = 1ULL * n * d + d;                // Step 6 rows + Step 1 mean
+    c.exp = 0;                               // no exponentiation at all
+    return c;
+}
+
+std::vector<ProcessorKind>
+TaylorAttention::processors() const
+{
+    return {ProcessorKind::Acc, ProcessorKind::Div, ProcessorKind::Add};
+}
+
+} // namespace vitality

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * ViTALiTy's linear Taylor attention — Algorithm 1 of the paper.
+ *
+ * The kernel mean-centers the keys (which provably leaves the softmax
+ * output unchanged, Property 1), then replaces exp(x) by its first-order
+ * Taylor expansion 1 + x, which is accurate because mean-centering pushes
+ * the bulk of the query-key similarities into [-1, 1). The resulting
+ * "weak" attention is linear: the associative trick Q (K-hat^T V) brings
+ * the cost from O(n^2 d) down to O(n d^2), with the d x d global context
+ * matrix G = K-hat^T V replacing the n x n attention map.
+ *
+ * The six steps of Algorithm 1 are exposed individually via the
+ * Intermediates struct so that the cycle-level accelerator simulator and
+ * the test-suite can cross-check operand counts step by step.
+ *
+ * A noteworthy mathematical property (asserted in the tests): because the
+ * keys are centered over the same token set that is summed, the column sum
+ * of the centered keys k-hat-sum is identically zero in exact arithmetic,
+ * so the Taylor denominator t_D equals n * sqrt(d) for every row. The
+ * hardware still computes it (SA-Diag in Fig. 6) since under quantized or
+ * finite-precision execution it is only approximately zero; we keep the
+ * computation to stay faithful to Algorithm 1.
+ */
+
+#ifndef VITALITY_ATTENTION_TAYLOR_ATTENTION_H
+#define VITALITY_ATTENTION_TAYLOR_ATTENTION_H
+
+#include "attention/attention.h"
+
+namespace vitality {
+
+/** ViTALiTy linear Taylor attention (first-order, "weak" branch). */
+class TaylorAttention : public AttentionKernel
+{
+  public:
+    /**
+     * @param mean_center When false, skips Step 1 (the mean-centering of
+     * keys). Used only by the ablation benches; the paper's kernel always
+     * centers.
+     */
+    explicit TaylorAttention(bool mean_center = true);
+
+    AttentionType type() const override { return AttentionType::Taylor; }
+    std::string name() const override;
+
+    Matrix forward(const Matrix &q, const Matrix &k,
+                   const Matrix &v) const override;
+
+    /**
+     * Per-head counts matching the paper's Eq. (1)-(3) denominators:
+     * mul = 2 n d^2 + n d, add = 2 n d^2 + 7 n d, div = n d + d, exp = 0.
+     */
+    OpCounts opCounts(size_t n, size_t d) const override;
+
+    std::vector<ProcessorKind> processors() const override;
+
+    /** Every intermediate value of Algorithm 1. */
+    struct Intermediates
+    {
+        Matrix kbar;  ///< Step 1a: column (token) mean of keys, 1 x d.
+        Matrix khat;  ///< Step 1b: mean-centered keys, n x d.
+        Matrix g;     ///< Step 2: global context matrix K-hat^T V, d x d.
+        Matrix ksum;  ///< Step 3a: column sum of centered keys, 1 x d.
+        Matrix vsum;  ///< Step 3b: column sum of values, 1 x d.
+        Matrix td;    ///< Step 4: Taylor denominator, n x 1.
+        Matrix tn;    ///< Step 5: Taylor numerator, n x d.
+        Matrix z;     ///< Step 6: attention score, n x d.
+    };
+
+    /** Run Algorithm 1 capturing all intermediates. */
+    Intermediates forwardDetailed(const Matrix &q, const Matrix &k,
+                                  const Matrix &v) const;
+
+    /** Step 1 as a standalone helper: K-hat = K - 1_n K-bar. */
+    static Matrix meanCenterKeys(const Matrix &k);
+
+    /**
+     * The explicit n x n first-order Taylor attention map
+     * diag^-1(n sqrt(d) 1 + Q khat_sum^T) (sqrt(d) 1 1^T + Q Khat^T).
+     * Quadratic; used only for training/analysis, never for inference.
+     */
+    static Matrix weakAttentionMap(const Matrix &q, const Matrix &khat);
+
+    bool meanCenter() const { return meanCenter_; }
+
+  private:
+    bool meanCenter_;
+};
+
+} // namespace vitality
+
+#endif // VITALITY_ATTENTION_TAYLOR_ATTENTION_H

@@ -1,0 +1,165 @@
+#include "attention/unified_attention.h"
+
+#include <stdexcept>
+
+#include "attention/softmax_attention.h"
+#include "base/logging.h"
+#include "attention/taylor_attention.h"
+#include "tensor/ops.h"
+
+namespace vitality {
+
+// --- SangerSparseAttention --------------------------------------------------
+
+SangerSparseAttention::SangerSparseAttention(float threshold, int bits,
+                                             double nominal_density)
+    : predictor_(threshold, bits), nominalDensity_(nominal_density)
+{
+}
+
+Matrix
+SangerSparseAttention::forward(const Matrix &q, const Matrix &k,
+                               const Matrix &v) const
+{
+    return forwardWithMask(q, k, v, nullptr);
+}
+
+Matrix
+SangerSparseAttention::forwardWithMask(const Matrix &q, const Matrix &k,
+                                       const Matrix &v,
+                                       SparseMask *mask_out) const
+{
+    if (q.cols() != k.cols() || k.rows() != v.rows())
+        throw std::invalid_argument("sanger sparse: shape mismatch");
+
+    SparseMask mask = predictor_.predict(q, k);
+    // Keep every row alive: Sanger guarantees at least the top predicted
+    // connection per query survives, otherwise a query would attend to
+    // nothing and its output would be zero.
+    const Matrix predicted = predictor_.predictedMap(q, k);
+    for (size_t r = 0; r < mask.rows(); ++r) {
+        if (mask.rowNnz(r) == 0)
+            mask.set(r, argmaxRow(predicted, r), true);
+    }
+    if (mask_out)
+        *mask_out = mask;
+
+    const Matrix scores = SoftmaxAttention::similarity(q, k);
+    return matmul(maskedSoftmaxRows(scores, mask), v);
+}
+
+OpCounts
+SangerSparseAttention::opCounts(size_t n, size_t d) const
+{
+    return opCountsWithDensity(n, d, nominalDensity_);
+}
+
+OpCounts
+SangerSparseAttention::opCountsWithDensity(size_t n, size_t d,
+                                           double density) const
+{
+    const auto dense_pairs = static_cast<double>(n) * static_cast<double>(n);
+    const auto kept = static_cast<uint64_t>(density * dense_pairs);
+    OpCounts c;
+    // Quantized 4-bit prediction is ~1/4 the cost of a fp16 multiply; the
+    // same convention Sanger's own evaluation uses.
+    c.mul = static_cast<uint64_t>(dense_pairs * d) / 4;
+    // Full-precision scores and SV only on kept connections.
+    c.mul += 2ULL * kept * d;
+    c.add = static_cast<uint64_t>(dense_pairs * d) / 4 + 2ULL * kept * d +
+            kept;
+    c.exp = kept;
+    c.div = kept;
+    return c;
+}
+
+std::vector<ProcessorKind>
+SangerSparseAttention::processors() const
+{
+    return {ProcessorKind::Exp, ProcessorKind::Div};
+}
+
+// --- UnifiedAttention -------------------------------------------------------
+
+UnifiedAttention::UnifiedAttention(float threshold, int bits,
+                                   bool mean_center)
+    : predictor_(threshold, bits), meanCenter_(mean_center)
+{
+}
+
+std::string
+UnifiedAttention::name() const
+{
+    return strfmt("Unified(T=%.3g)", predictor_.threshold());
+}
+
+Matrix
+UnifiedAttention::forward(const Matrix &q, const Matrix &k,
+                          const Matrix &v) const
+{
+    return forwardDetailed(q, k, v).z;
+}
+
+UnifiedAttention::Detailed
+UnifiedAttention::forwardDetailed(const Matrix &q, const Matrix &k,
+                                  const Matrix &v) const
+{
+    if (q.cols() != k.cols() || k.rows() != v.rows())
+        throw std::invalid_argument("unified: shape mismatch");
+
+    const Matrix khat =
+        meanCenter_ ? TaylorAttention::meanCenterKeys(k) : k;
+
+    Detailed out{Matrix(), Matrix(), Matrix(),
+                 SparseMask(q.rows(), k.rows()), 0.0};
+
+    // Low-rank branch: the explicit weak Taylor map (training-time only;
+    // inference uses the linear form without ever materializing this).
+    out.weakMap = TaylorAttention::weakAttentionMap(q, khat);
+
+    // Full softmax map; mean-centering leaves it unchanged (Property 1)
+    // but we compute it from khat to share intermediates with hardware.
+    const Matrix full_map = SoftmaxAttention::attentionMap(q, khat);
+
+    // Sparse branch: residual on predicted strong connections only.
+    out.mask = predictor_.predict(q, khat);
+    out.strongPart = applyMask(sub(full_map, out.weakMap), out.mask);
+    out.sparseBranchDensity = out.mask.density();
+
+    out.z = matmul(add(out.weakMap, out.strongPart), v);
+    return out;
+}
+
+OpCounts
+UnifiedAttention::opCounts(size_t n, size_t d) const
+{
+    // The paper drops the sparse branch at inference, so the deployed cost
+    // of a ViTALiTy-trained model is exactly the Taylor cost.
+    return TaylorAttention().opCounts(n, d);
+}
+
+OpCounts
+UnifiedAttention::opCountsWithDensity(size_t n, size_t d,
+                                      double density) const
+{
+    OpCounts c = TaylorAttention().opCounts(n, d);
+    const auto kept = static_cast<uint64_t>(
+        density * static_cast<double>(n) * static_cast<double>(n));
+    // Strong branch: masked scores + masked SV, plus the prediction pass.
+    c.mul += 2ULL * kept * d + static_cast<uint64_t>(n) * n * d / 4;
+    c.add += 2ULL * kept * d + kept;
+    c.exp += kept;
+    c.div += kept;
+    return c;
+}
+
+std::vector<ProcessorKind>
+UnifiedAttention::processors() const
+{
+    // Training needs every chunk: Taylor's Acc/Div/Add plus the sparse
+    // branch's Exp.
+    return {ProcessorKind::Acc, ProcessorKind::Div, ProcessorKind::Add,
+            ProcessorKind::Exp};
+}
+
+} // namespace vitality

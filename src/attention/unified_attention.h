@@ -1,0 +1,123 @@
+/**
+ * @file
+ * The SPARSE baseline (Sanger) and ViTALiTy's training-time unified
+ * low-rank + sparse attention (Section III-D, Fig. 4).
+ *
+ * The unified kernel decouples the (mean-centered) softmax attention into
+ *   softmax(Q Khat^T / sqrt(d)) = weak Taylor map (m = 1, low-rank)
+ *                                + strong residual (m > 1).
+ * During training the strong residual is approximated sparsely: a Sanger
+ * predictor selects the strong (query, key) connections, and only those
+ * entries of the residual are kept:
+ *
+ *   S_train = T_weak + M .* (S_full - T_weak),      Z = S_train V
+ *
+ * where M is the predicted mask. With an all-ones M this is exactly the
+ * softmax attention; with an all-zero M it is exactly the linear Taylor
+ * attention — the two ends of the paper's Fig. 15 threshold sweep. At
+ * inference ViTALiTy drops the sparse branch entirely and runs only
+ * TaylorAttention.
+ */
+
+#ifndef VITALITY_ATTENTION_UNIFIED_ATTENTION_H
+#define VITALITY_ATTENTION_UNIFIED_ATTENTION_H
+
+#include "attention/attention.h"
+#include "sparse/mask.h"
+#include "sparse/predictor.h"
+
+namespace vitality {
+
+/**
+ * Sanger-style dynamic sparse attention (the paper's SPARSE method):
+ * full-precision scores are computed only for connections the quantized
+ * predictor kept, then renormalized by a masked softmax.
+ */
+class SangerSparseAttention : public AttentionKernel
+{
+  public:
+    /**
+     * @param threshold Prediction threshold (Sanger's default 0.02).
+     * @param bits Predictor precision in bits.
+     * @param nominal_density Density assumed by the analytic opCounts()
+     * when no measured mask is available.
+     */
+    explicit SangerSparseAttention(float threshold = 0.02f, int bits = 4,
+                                   double nominal_density = 0.25);
+
+    AttentionType type() const override
+    {
+        return AttentionType::SangerSparse;
+    }
+
+    Matrix forward(const Matrix &q, const Matrix &k,
+                   const Matrix &v) const override;
+
+    /** Forward that also returns the mask actually used. */
+    Matrix forwardWithMask(const Matrix &q, const Matrix &k,
+                           const Matrix &v, SparseMask *mask_out) const;
+
+    OpCounts opCounts(size_t n, size_t d) const override;
+
+    /** Op counts at a measured mask density. */
+    OpCounts opCountsWithDensity(size_t n, size_t d, double density) const;
+
+    std::vector<ProcessorKind> processors() const override;
+
+    const SangerPredictor &predictor() const { return predictor_; }
+
+  private:
+    SangerPredictor predictor_;
+    double nominalDensity_;
+};
+
+/** ViTALiTy's unified low-rank + sparse training attention. */
+class UnifiedAttention : public AttentionKernel
+{
+  public:
+    /**
+     * @param threshold Sparsity threshold T for the strong branch;
+     * the paper's optimum is T = 0.5 (Fig. 15).
+     * @param bits Predictor precision in bits.
+     * @param mean_center Disable only for ablations.
+     */
+    explicit UnifiedAttention(float threshold = 0.5f, int bits = 4,
+                              bool mean_center = true);
+
+    AttentionType type() const override { return AttentionType::Unified; }
+    std::string name() const override;
+
+    Matrix forward(const Matrix &q, const Matrix &k,
+                   const Matrix &v) const override;
+
+    /** Everything the training loop and the ablations need to observe. */
+    struct Detailed
+    {
+        Matrix z;          ///< Unified attention score, n x d.
+        Matrix weakMap;    ///< First-order Taylor map, n x n.
+        Matrix strongPart; ///< Masked residual M .* (S - T_weak), n x n.
+        SparseMask mask;   ///< Predicted strong-connection mask.
+        /** Fraction of nonzero entries in the sparse branch (Fig. 14). */
+        double sparseBranchDensity = 0.0;
+    };
+
+    Detailed forwardDetailed(const Matrix &q, const Matrix &k,
+                             const Matrix &v) const;
+
+    /** Taylor counts plus density-scaled strong-branch counts. */
+    OpCounts opCountsWithDensity(size_t n, size_t d, double density) const;
+
+    OpCounts opCounts(size_t n, size_t d) const override;
+
+    std::vector<ProcessorKind> processors() const override;
+
+    float threshold() const { return predictor_.threshold(); }
+
+  private:
+    SangerPredictor predictor_;
+    bool meanCenter_;
+};
+
+} // namespace vitality
+
+#endif // VITALITY_ATTENTION_UNIFIED_ATTENTION_H

@@ -1,0 +1,55 @@
+#include "attention/zoo.h"
+
+#include "attention/linear_attentions.h"
+#include "attention/softmax_attention.h"
+#include "attention/taylor_attention.h"
+#include "attention/unified_attention.h"
+#include "base/logging.h"
+
+namespace vitality {
+
+AttentionKernelPtr
+makeAttention(AttentionType type)
+{
+    switch (type) {
+      case AttentionType::Softmax:
+        return std::make_shared<SoftmaxAttention>();
+      case AttentionType::Taylor:
+        return std::make_shared<TaylorAttention>();
+      case AttentionType::SangerSparse:
+        return std::make_shared<SangerSparseAttention>();
+      case AttentionType::Unified:
+        return std::make_shared<UnifiedAttention>();
+      case AttentionType::Performer:
+        return std::make_shared<PerformerAttention>();
+      case AttentionType::LinearTransformer:
+        return std::make_shared<LinearTransformerAttention>();
+      case AttentionType::Efficient:
+        return std::make_shared<EfficientAttention>();
+      case AttentionType::Linformer:
+        return std::make_shared<LinformerAttention>();
+    }
+    panic("makeAttention: unknown type %d", static_cast<int>(type));
+}
+
+std::vector<AttentionType>
+allAttentionTypes()
+{
+    return {
+        AttentionType::Softmax,       AttentionType::Taylor,
+        AttentionType::SangerSparse,  AttentionType::Unified,
+        AttentionType::Performer,     AttentionType::LinearTransformer,
+        AttentionType::Efficient,     AttentionType::Linformer,
+    };
+}
+
+std::vector<AttentionKernelPtr>
+makeAttentionZoo()
+{
+    std::vector<AttentionKernelPtr> zoo;
+    for (AttentionType type : allAttentionTypes())
+        zoo.push_back(makeAttention(type));
+    return zoo;
+}
+
+} // namespace vitality

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Factory for the attention zoo.
+ *
+ * Builds any AttentionKernel by type with the paper's default parameters,
+ * and enumerates the zoo for the benches that sweep every kernel
+ * (Table IV's accuracy-vs-FLOPs frontier and Table VI's processor
+ * requirements).
+ */
+
+#ifndef VITALITY_ATTENTION_ZOO_H
+#define VITALITY_ATTENTION_ZOO_H
+
+#include <vector>
+
+#include "attention/attention.h"
+
+namespace vitality {
+
+/** Construct a kernel of the given type with the paper's defaults. */
+AttentionKernelPtr makeAttention(AttentionType type);
+
+/** All kernel types, in the order the paper's tables list them. */
+std::vector<AttentionType> allAttentionTypes();
+
+/** One instance of every kernel. */
+std::vector<AttentionKernelPtr> makeAttentionZoo();
+
+} // namespace vitality
+
+#endif // VITALITY_ATTENTION_ZOO_H

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Status and error reporting, modelled on gem5's logging conventions.
+ *
+ * Four severities are provided:
+ *   - inform(): normal status, no connotation of incorrect behaviour.
+ *   - warn():   something may be off; execution continues.
+ *   - fatal():  the run cannot continue because of a *user* error (bad
+ *               configuration, invalid arguments). Exits with code 1.
+ *   - panic():  an internal invariant was violated (a library bug).
+ *               Aborts so a core dump / debugger can take over.
+ */
+
+#ifndef VITALITY_BASE_LOGGING_H
+#define VITALITY_BASE_LOGGING_H
+
+#include <cstdarg>
+#include <string>
+
+namespace vitality {
+
+/** printf-style formatting into a std::string. */
+std::string strfmt(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** printf-style formatting from an already-started va_list. */
+std::string vstrfmt(const char *fmt, va_list args);
+
+/** Print a normal status message to stdout. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print a warning to stderr; execution continues. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Report a user-caused error and exit(1). */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Report an internal bug and abort(). */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace vitality
+
+/**
+ * Check an internal invariant. Unlike assert(), stays active in release
+ * builds: simulator results silently produced from corrupt state are worse
+ * than a crash.
+ */
+#define VITALITY_ASSERT(cond, ...)                                          \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::vitality::panic("assertion '%s' failed at %s:%d: %s", #cond,  \
+                              __FILE__, __LINE__,                           \
+                              ::vitality::strfmt(__VA_ARGS__).c_str());     \
+        }                                                                   \
+    } while (0)
+
+#endif // VITALITY_BASE_LOGGING_H

@@ -1,0 +1,115 @@
+#include "base/rng.h"
+
+#include <cmath>
+
+#include "base/logging.h"
+
+namespace vitality {
+
+namespace {
+
+/** SplitMix64: expands a single seed into well-mixed state words. */
+uint64_t
+splitmix64(uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+uint64_t
+rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(uint64_t seed)
+    : cachedGaussian_(0.0f), hasCachedGaussian_(false)
+{
+    uint64_t sm = seed;
+    for (auto &word : state_)
+        word = splitmix64(sm);
+}
+
+uint64_t
+Rng::next()
+{
+    const uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+}
+
+float
+Rng::uniform()
+{
+    // Use the top 24 bits for a clean float in [0, 1).
+    return static_cast<float>(next() >> 40) * (1.0f / 16777216.0f);
+}
+
+float
+Rng::uniform(float lo, float hi)
+{
+    return lo + (hi - lo) * uniform();
+}
+
+float
+Rng::gaussian()
+{
+    if (hasCachedGaussian_) {
+        hasCachedGaussian_ = false;
+        return cachedGaussian_;
+    }
+    float u1 = uniform();
+    float u2 = uniform();
+    // Avoid log(0).
+    if (u1 < 1e-12f)
+        u1 = 1e-12f;
+    const float r = std::sqrt(-2.0f * std::log(u1));
+    const float theta = 2.0f * static_cast<float>(M_PI) * u2;
+    cachedGaussian_ = r * std::sin(theta);
+    hasCachedGaussian_ = true;
+    return r * std::cos(theta);
+}
+
+float
+Rng::gaussian(float mean, float stddev)
+{
+    return mean + stddev * gaussian();
+}
+
+uint64_t
+Rng::uniformInt(uint64_t n)
+{
+    VITALITY_ASSERT(n > 0, "uniformInt requires n > 0");
+    // Rejection sampling to remove modulo bias.
+    const uint64_t limit = UINT64_MAX - UINT64_MAX % n;
+    uint64_t x;
+    do {
+        x = next();
+    } while (x >= limit);
+    return x % n;
+}
+
+bool
+Rng::bernoulli(float p)
+{
+    return uniform() < p;
+}
+
+Rng
+Rng::split()
+{
+    return Rng(next() ^ 0x9e3779b97f4a7c15ULL);
+}
+
+} // namespace vitality

@@ -1,0 +1,139 @@
+#include "base/table.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "base/logging.h"
+
+namespace vitality {
+
+Table::Table(std::string caption)
+    : caption_(std::move(caption))
+{
+}
+
+void
+Table::setHeader(std::vector<std::string> header)
+{
+    VITALITY_ASSERT(!header.empty(), "table header must be non-empty");
+    header_ = std::move(header);
+}
+
+void
+Table::addRow(std::vector<std::string> row)
+{
+    VITALITY_ASSERT(header_.empty() || row.size() == header_.size(),
+                    "row has %zu cells, header has %zu", row.size(),
+                    header_.size());
+    rows_.push_back({std::move(row), false});
+}
+
+void
+Table::addSeparator()
+{
+    rows_.push_back({{}, true});
+}
+
+std::string
+Table::render() const
+{
+    std::vector<size_t> widths(header_.size(), 0);
+    auto grow = [&](const std::vector<std::string> &cells) {
+        for (size_t i = 0; i < cells.size(); ++i)
+            widths[i] = std::max(widths[i], cells[i].size());
+    };
+    grow(header_);
+    for (const auto &row : rows_) {
+        if (!row.separator)
+            grow(row.cells);
+    }
+
+    auto renderLine = [&](const std::vector<std::string> &cells) {
+        std::ostringstream os;
+        os << "|";
+        for (size_t i = 0; i < widths.size(); ++i) {
+            const std::string &cell = i < cells.size() ? cells[i] : "";
+            os << " " << cell << std::string(widths[i] - cell.size(), ' ')
+               << " |";
+        }
+        os << "\n";
+        return os.str();
+    };
+
+    auto renderRule = [&]() {
+        std::ostringstream os;
+        os << "+";
+        for (size_t width : widths)
+            os << std::string(width + 2, '-') << "+";
+        os << "\n";
+        return os.str();
+    };
+
+    std::ostringstream out;
+    if (!caption_.empty())
+        out << caption_ << "\n";
+    out << renderRule();
+    out << renderLine(header_);
+    out << renderRule();
+    for (const auto &row : rows_) {
+        if (row.separator)
+            out << renderRule();
+        else
+            out << renderLine(row.cells);
+    }
+    out << renderRule();
+    return out.str();
+}
+
+std::string
+Table::renderCsv() const
+{
+    auto line = [](const std::vector<std::string> &cells) {
+        std::ostringstream os;
+        for (size_t i = 0; i < cells.size(); ++i) {
+            if (i)
+                os << ",";
+            // Quote cells containing commas.
+            if (cells[i].find(',') != std::string::npos)
+                os << '"' << cells[i] << '"';
+            else
+                os << cells[i];
+        }
+        os << "\n";
+        return os.str();
+    };
+
+    std::ostringstream out;
+    out << line(header_);
+    for (const auto &row : rows_) {
+        if (!row.separator)
+            out << line(row.cells);
+    }
+    return out.str();
+}
+
+void
+Table::print() const
+{
+    std::fputs(render().c_str(), stdout);
+}
+
+std::string
+Table::num(double value, int decimals)
+{
+    return strfmt("%.*f", decimals, value);
+}
+
+std::string
+Table::ratio(double value, int decimals)
+{
+    return strfmt("%.*fx", decimals, value);
+}
+
+std::string
+Table::percent(double fraction, int decimals)
+{
+    return strfmt("%.*f%%", decimals, fraction * 100.0);
+}
+
+} // namespace vitality

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Console table and CSV rendering used by the bench harness.
+ *
+ * Every bench binary reproduces one of the paper's tables or figures and
+ * needs to print aligned rows that read like the original. Table collects
+ * string cells and renders a fixed-width ASCII table; it can also emit CSV
+ * so results are machine-consumable.
+ */
+
+#ifndef VITALITY_BASE_TABLE_H
+#define VITALITY_BASE_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace vitality {
+
+/** A simple column-aligned ASCII table builder. */
+class Table
+{
+  public:
+    /** Construct with an optional caption printed above the table. */
+    explicit Table(std::string caption = "");
+
+    /** Set the header row. Column count is fixed by this call. */
+    void setHeader(std::vector<std::string> header);
+
+    /** Append a data row; must match the header's column count. */
+    void addRow(std::vector<std::string> row);
+
+    /** Append a horizontal separator between row groups. */
+    void addSeparator();
+
+    /** Render the table to a string. */
+    std::string render() const;
+
+    /** Render rows as CSV (caption and separators omitted). */
+    std::string renderCsv() const;
+
+    /** Print the rendered table to stdout. */
+    void print() const;
+
+    size_t numRows() const { return rows_.size(); }
+
+    /** Format a double with the given number of decimals. */
+    static std::string num(double value, int decimals = 2);
+
+    /** Format a ratio as, e.g., "3.1x". */
+    static std::string ratio(double value, int decimals = 1);
+
+    /** Format a fraction as a percentage, e.g., "52%". */
+    static std::string percent(double fraction, int decimals = 0);
+
+  private:
+    struct Row
+    {
+        std::vector<std::string> cells;
+        bool separator;
+    };
+
+    std::string caption_;
+    std::vector<std::string> header_;
+    std::vector<Row> rows_;
+};
+
+} // namespace vitality
+
+#endif // VITALITY_BASE_TABLE_H

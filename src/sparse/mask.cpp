@@ -1,0 +1,145 @@
+#include "sparse/mask.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "base/logging.h"
+
+namespace vitality {
+
+SparseMask::SparseMask(size_t rows, size_t cols)
+    : rows_(rows), cols_(cols), bits_(rows * cols, 0)
+{
+}
+
+SparseMask
+SparseMask::fromThreshold(const Matrix &scores, float threshold)
+{
+    SparseMask mask(scores.rows(), scores.cols());
+    for (size_t r = 0; r < scores.rows(); ++r)
+        for (size_t c = 0; c < scores.cols(); ++c)
+            mask.set(r, c, scores(r, c) >= threshold);
+    return mask;
+}
+
+SparseMask
+SparseMask::dense(size_t rows, size_t cols)
+{
+    SparseMask mask(rows, cols);
+    for (auto &b : mask.bits_)
+        b = 1;
+    return mask;
+}
+
+bool
+SparseMask::at(size_t r, size_t c) const
+{
+    VITALITY_ASSERT(r < rows_ && c < cols_, "mask index out of range");
+    return bits_[r * cols_ + c] != 0;
+}
+
+void
+SparseMask::set(size_t r, size_t c, bool keep)
+{
+    VITALITY_ASSERT(r < rows_ && c < cols_, "mask index out of range");
+    bits_[r * cols_ + c] = keep ? 1 : 0;
+}
+
+size_t
+SparseMask::nnz() const
+{
+    size_t count = 0;
+    for (auto b : bits_)
+        count += b;
+    return count;
+}
+
+size_t
+SparseMask::rowNnz(size_t r) const
+{
+    VITALITY_ASSERT(r < rows_, "mask row out of range");
+    size_t count = 0;
+    for (size_t c = 0; c < cols_; ++c)
+        count += bits_[r * cols_ + c];
+    return count;
+}
+
+double
+SparseMask::density() const
+{
+    if (bits_.empty())
+        return 0.0;
+    return static_cast<double>(nnz()) / static_cast<double>(bits_.size());
+}
+
+Matrix
+SparseMask::toMatrix() const
+{
+    Matrix m(rows_, cols_);
+    for (size_t r = 0; r < rows_; ++r)
+        for (size_t c = 0; c < cols_; ++c)
+            m(r, c) = at(r, c) ? 1.0f : 0.0f;
+    return m;
+}
+
+SparseMask
+SparseMask::operator&(const SparseMask &other) const
+{
+    if (rows_ != other.rows_ || cols_ != other.cols_)
+        throw std::invalid_argument("mask AND: shape mismatch");
+    SparseMask out(rows_, cols_);
+    for (size_t i = 0; i < bits_.size(); ++i)
+        out.bits_[i] = bits_[i] & other.bits_[i];
+    return out;
+}
+
+bool
+SparseMask::operator==(const SparseMask &other) const
+{
+    return rows_ == other.rows_ && cols_ == other.cols_ &&
+           bits_ == other.bits_;
+}
+
+Matrix
+maskedSoftmaxRows(const Matrix &scores, const SparseMask &mask)
+{
+    if (scores.rows() != mask.rows() || scores.cols() != mask.cols())
+        throw std::invalid_argument("maskedSoftmax: shape mismatch");
+
+    Matrix out(scores.rows(), scores.cols());
+    for (size_t r = 0; r < scores.rows(); ++r) {
+        // Max over kept entries for numerical stability.
+        float maxv = -INFINITY;
+        for (size_t c = 0; c < scores.cols(); ++c) {
+            if (mask.at(r, c))
+                maxv = std::max(maxv, scores(r, c));
+        }
+        if (maxv == -INFINITY)
+            continue; // fully pruned row stays zero
+        float denom = 0.0f;
+        for (size_t c = 0; c < scores.cols(); ++c) {
+            if (mask.at(r, c)) {
+                out(r, c) = std::exp(scores(r, c) - maxv);
+                denom += out(r, c);
+            }
+        }
+        const float inv = 1.0f / denom;
+        for (size_t c = 0; c < scores.cols(); ++c)
+            out(r, c) *= inv;
+    }
+    return out;
+}
+
+Matrix
+applyMask(const Matrix &values, const SparseMask &mask)
+{
+    if (values.rows() != mask.rows() || values.cols() != mask.cols())
+        throw std::invalid_argument("applyMask: shape mismatch");
+    Matrix out(values.rows(), values.cols());
+    for (size_t r = 0; r < values.rows(); ++r)
+        for (size_t c = 0; c < values.cols(); ++c)
+            out(r, c) = mask.at(r, c) ? values(r, c) : 0.0f;
+    return out;
+}
+
+} // namespace vitality

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Binary attention masks and masked-softmax helpers.
+ *
+ * A SparseMask marks which (query, key) connections survive Sanger-style
+ * threshold pruning. It backs both the SPARSE baseline kernel and the
+ * sparse branch of ViTALiTy's unified training attention, and feeds the
+ * pack-and-split scheduler of the Sanger accelerator model.
+ */
+
+#ifndef VITALITY_SPARSE_MASK_H
+#define VITALITY_SPARSE_MASK_H
+
+#include <cstddef>
+#include <vector>
+
+#include "tensor/matrix.h"
+
+namespace vitality {
+
+/** A dense bitmap of kept attention connections. */
+class SparseMask
+{
+  public:
+    /** All-zero (fully pruned) mask of the given shape. */
+    SparseMask(size_t rows, size_t cols);
+
+    /** Keep entries of scores that are >= threshold. */
+    static SparseMask fromThreshold(const Matrix &scores, float threshold);
+
+    /** All-ones (dense) mask. */
+    static SparseMask dense(size_t rows, size_t cols);
+
+    size_t rows() const { return rows_; }
+    size_t cols() const { return cols_; }
+
+    bool at(size_t r, size_t c) const;
+    void set(size_t r, size_t c, bool keep);
+
+    /** Number of kept connections. */
+    size_t nnz() const;
+
+    /** Kept connections in row r. */
+    size_t rowNnz(size_t r) const;
+
+    /** nnz / (rows * cols). */
+    double density() const;
+
+    /** 1 - density. */
+    double sparsity() const { return 1.0 - density(); }
+
+    /** Render as a 0/1 matrix. */
+    Matrix toMatrix() const;
+
+    /** Element-wise AND. */
+    SparseMask operator&(const SparseMask &other) const;
+
+    bool operator==(const SparseMask &other) const;
+
+  private:
+    size_t rows_;
+    size_t cols_;
+    std::vector<uint8_t> bits_;
+};
+
+/**
+ * Row-wise softmax restricted to kept entries: pruned entries contribute
+ * nothing to the denominator and are zero in the output. Rows with no kept
+ * entry are all-zero.
+ */
+Matrix maskedSoftmaxRows(const Matrix &scores, const SparseMask &mask);
+
+/** Zero out pruned entries of a dense matrix. */
+Matrix applyMask(const Matrix &values, const SparseMask &mask);
+
+} // namespace vitality
+
+#endif // VITALITY_SPARSE_MASK_H

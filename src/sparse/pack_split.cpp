@@ -1,0 +1,75 @@
+#include "sparse/pack_split.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace vitality {
+
+double
+PackSplitResult::utilization() const
+{
+    if (packedRows.empty() || peWidth == 0)
+        return 0.0;
+    return static_cast<double>(nnz) /
+           (static_cast<double>(packedRows.size()) *
+            static_cast<double>(peWidth));
+}
+
+PackSplitResult
+packAndSplit(const SparseMask &mask, size_t pe_width)
+{
+    if (pe_width == 0)
+        throw std::invalid_argument("packAndSplit: pe_width must be > 0");
+
+    PackSplitResult result;
+    result.peWidth = pe_width;
+
+    // Split phase: cut each source row into sub-rows of <= pe_width kept
+    // entries.
+    struct SubRow
+    {
+        size_t sourceRow;
+        size_t entries;
+    };
+    std::vector<SubRow> subRows;
+    for (size_t r = 0; r < mask.rows(); ++r) {
+        size_t remaining = mask.rowNnz(r);
+        result.nnz += remaining;
+        while (remaining > 0) {
+            const size_t take = std::min(remaining, pe_width);
+            subRows.push_back({r, take});
+            remaining -= take;
+        }
+    }
+    result.numSubRows = subRows.size();
+
+    // Pack phase: first-fit-decreasing bin packing into rows of capacity
+    // pe_width. Full sub-rows (== pe_width) each claim a row outright; the
+    // remainder mix and match.
+    std::sort(subRows.begin(), subRows.end(),
+              [](const SubRow &a, const SubRow &b) {
+                  return a.entries > b.entries;
+              });
+
+    for (const SubRow &sub : subRows) {
+        bool placed = false;
+        for (PackedRow &row : result.packedRows) {
+            if (row.occupancy + sub.entries <= pe_width) {
+                row.segments.emplace_back(sub.sourceRow, sub.entries);
+                row.occupancy += sub.entries;
+                placed = true;
+                break;
+            }
+        }
+        if (!placed) {
+            PackedRow row;
+            row.segments.emplace_back(sub.sourceRow, sub.entries);
+            row.occupancy = sub.entries;
+            result.packedRows.push_back(std::move(row));
+        }
+    }
+
+    return result;
+}
+
+} // namespace vitality

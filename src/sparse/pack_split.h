@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Sanger's "pack and split" scheduling of irregular sparse attention rows
+ * onto a fixed-width reconfigurable PE array.
+ *
+ * Sanger turns a dynamic binary mask into hardware-friendly structured
+ * blocks in two moves: rows with more kept entries than the PE width are
+ * *split* into multiple sub-rows, and short sub-rows from different
+ * queries are *packed* together into the same hardware row. The number of
+ * packed hardware rows (times the PE width) determines the cycles the
+ * score/attend phases take on the Sanger accelerator, so the packing
+ * efficiency directly sets its speedup — which is what ViTALiTy's Fig. 11
+ * compares against.
+ */
+
+#ifndef VITALITY_SPARSE_PACK_SPLIT_H
+#define VITALITY_SPARSE_PACK_SPLIT_H
+
+#include <cstddef>
+#include <vector>
+
+#include "sparse/mask.h"
+
+namespace vitality {
+
+/** One hardware row after packing: sub-row segments from source rows. */
+struct PackedRow
+{
+    /** (source row, number of kept entries taken from it). */
+    std::vector<std::pair<size_t, size_t>> segments;
+    /** Total kept entries mapped to this hardware row. */
+    size_t occupancy = 0;
+};
+
+/** Outcome of pack-and-split scheduling. */
+struct PackSplitResult
+{
+    /** Hardware rows after packing (drives Sanger's cycle count). */
+    std::vector<PackedRow> packedRows;
+    /** Total kept entries in the mask. */
+    size_t nnz = 0;
+    /** Sub-rows produced by the split phase. */
+    size_t numSubRows = 0;
+    /** PE-array width the schedule was built for. */
+    size_t peWidth = 0;
+
+    size_t numPackedRows() const { return packedRows.size(); }
+
+    /** nnz / (packed rows * width): 1.0 means perfectly balanced. */
+    double utilization() const;
+};
+
+/**
+ * Schedule a mask onto a PE array of the given width.
+ *
+ * Split: each source row is cut into ceil(rowNnz / width) sub-rows of at
+ * most width entries. Pack: sub-rows are placed first-fit-decreasing into
+ * hardware rows of capacity width.
+ *
+ * @param mask The kept-connection bitmap for one head.
+ * @param pe_width Number of PE columns available (64 for Sanger's config).
+ */
+PackSplitResult packAndSplit(const SparseMask &mask, size_t pe_width);
+
+} // namespace vitality
+
+#endif // VITALITY_SPARSE_PACK_SPLIT_H

@@ -1,0 +1,47 @@
+#include "sparse/predictor.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "attention/softmax_attention.h"
+#include "tensor/ops.h"
+
+namespace vitality {
+
+Matrix
+quantizeSymmetric(const Matrix &m, int bits)
+{
+    if (bits < 2 || bits > 16)
+        throw std::invalid_argument("quantizeSymmetric: bits must be 2..16");
+    const float max_mag = maxAbs(m);
+    if (max_mag == 0.0f)
+        return m;
+    const float levels = static_cast<float>((1 << (bits - 1)) - 1);
+    const float step = max_mag / levels;
+    return mapElem(m, [step](float x) {
+        return std::round(x / step) * step;
+    });
+}
+
+SangerPredictor::SangerPredictor(float threshold, int bits)
+    : threshold_(threshold), bits_(bits)
+{
+    if (threshold < 0.0f || threshold > 1.0f)
+        throw std::invalid_argument("SangerPredictor: threshold in [0,1]");
+}
+
+Matrix
+SangerPredictor::predictedMap(const Matrix &q, const Matrix &k) const
+{
+    const Matrix qq = quantizeSymmetric(q, bits_);
+    const Matrix qk = quantizeSymmetric(k, bits_);
+    return SoftmaxAttention::attentionMap(qq, qk);
+}
+
+SparseMask
+SangerPredictor::predict(const Matrix &q, const Matrix &k) const
+{
+    return SparseMask::fromThreshold(predictedMap(q, k), threshold_);
+}
+
+} // namespace vitality

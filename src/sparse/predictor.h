@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Sanger-style sparsity prediction from quantized queries and keys.
+ *
+ * Sanger (Lu et al., MICRO'21) predicts which attention entries matter by
+ * computing a low-precision estimate of the softmax attention map and
+ * thresholding it. ViTALiTy reuses exactly this predictor to build the
+ * sparse ("strong") branch during training (Section III-D), with the keys
+ * already mean-centered.
+ */
+
+#ifndef VITALITY_SPARSE_PREDICTOR_H
+#define VITALITY_SPARSE_PREDICTOR_H
+
+#include "sparse/mask.h"
+#include "tensor/matrix.h"
+
+namespace vitality {
+
+/**
+ * Symmetric linear quantization of a matrix to the given bit width.
+ * Values are mapped onto 2^(bits-1) - 1 signed levels scaled by the
+ * matrix's max magnitude, then dequantized back to float, mimicking the
+ * low-precision prediction path of the Sanger front-end.
+ */
+Matrix quantizeSymmetric(const Matrix &m, int bits);
+
+/** Threshold-based sparsity predictor over quantized Q / K. */
+class SangerPredictor
+{
+  public:
+    /**
+     * @param threshold Entries of the predicted softmax map below this are
+     * pruned. Sanger's default is 0.02; ViTALiTy trains with 0.5.
+     * @param bits Prediction precision (Sanger uses 4-bit).
+     */
+    explicit SangerPredictor(float threshold, int bits = 4);
+
+    /**
+     * Predict the keep-mask for one head.
+     * Computes softmax(quant(Q) quant(K)^T / sqrt(d)) and keeps entries
+     * >= threshold.
+     */
+    SparseMask predict(const Matrix &q, const Matrix &k) const;
+
+    /** The quantized predicted attention map itself (for tests/benches). */
+    Matrix predictedMap(const Matrix &q, const Matrix &k) const;
+
+    float threshold() const { return threshold_; }
+    int bits() const { return bits_; }
+
+  private:
+    float threshold_;
+    int bits_;
+};
+
+} // namespace vitality
+
+#endif // VITALITY_SPARSE_PREDICTOR_H

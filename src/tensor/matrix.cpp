@@ -1,0 +1,224 @@
+#include "tensor/matrix.h"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "base/logging.h"
+#include "base/rng.h"
+
+namespace vitality {
+
+Matrix::Matrix()
+    : rows_(0), cols_(0)
+{
+}
+
+Matrix::Matrix(size_t rows, size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0f)
+{
+}
+
+Matrix::Matrix(size_t rows, size_t cols, float fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill)
+{
+}
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<float>> rows)
+    : rows_(rows.size()), cols_(0)
+{
+    for (const auto &r : rows) {
+        if (cols_ == 0)
+            cols_ = r.size();
+        if (r.size() != cols_)
+            throw std::invalid_argument("ragged initializer list");
+        data_.insert(data_.end(), r.begin(), r.end());
+    }
+}
+
+Matrix
+Matrix::zeros(size_t rows, size_t cols)
+{
+    return Matrix(rows, cols);
+}
+
+Matrix
+Matrix::ones(size_t rows, size_t cols)
+{
+    return Matrix(rows, cols, 1.0f);
+}
+
+Matrix
+Matrix::full(size_t rows, size_t cols, float value)
+{
+    return Matrix(rows, cols, value);
+}
+
+Matrix
+Matrix::identity(size_t n)
+{
+    Matrix m(n, n);
+    for (size_t i = 0; i < n; ++i)
+        m(i, i) = 1.0f;
+    return m;
+}
+
+Matrix
+Matrix::randn(size_t rows, size_t cols, Rng &rng, float mean, float stddev)
+{
+    Matrix m(rows, cols);
+    for (auto &x : m.data_)
+        x = rng.gaussian(mean, stddev);
+    return m;
+}
+
+Matrix
+Matrix::uniform(size_t rows, size_t cols, Rng &rng, float lo, float hi)
+{
+    Matrix m(rows, cols);
+    for (auto &x : m.data_)
+        x = rng.uniform(lo, hi);
+    return m;
+}
+
+Matrix
+Matrix::fromFlat(size_t rows, size_t cols, const std::vector<float> &flat)
+{
+    if (flat.size() != rows * cols)
+        throw std::invalid_argument("fromFlat: buffer size mismatch");
+    Matrix m(rows, cols);
+    m.data_ = flat;
+    return m;
+}
+
+float &
+Matrix::operator()(size_t r, size_t c)
+{
+    VITALITY_ASSERT(r < rows_ && c < cols_,
+                    "index (%zu, %zu) out of range for %s", r, c,
+                    shapeStr().c_str());
+    return data_[r * cols_ + c];
+}
+
+float
+Matrix::operator()(size_t r, size_t c) const
+{
+    VITALITY_ASSERT(r < rows_ && c < cols_,
+                    "index (%zu, %zu) out of range for %s", r, c,
+                    shapeStr().c_str());
+    return data_[r * cols_ + c];
+}
+
+Matrix
+Matrix::row(size_t r) const
+{
+    VITALITY_ASSERT(r < rows_, "row %zu out of range for %s", r,
+                    shapeStr().c_str());
+    Matrix out(1, cols_);
+    for (size_t c = 0; c < cols_; ++c)
+        out(0, c) = (*this)(r, c);
+    return out;
+}
+
+Matrix
+Matrix::col(size_t c) const
+{
+    VITALITY_ASSERT(c < cols_, "col %zu out of range for %s", c,
+                    shapeStr().c_str());
+    Matrix out(rows_, 1);
+    for (size_t r = 0; r < rows_; ++r)
+        out(r, 0) = (*this)(r, c);
+    return out;
+}
+
+Matrix
+Matrix::rowRange(size_t r0, size_t r1) const
+{
+    if (r0 > r1 || r1 > rows_)
+        throw std::invalid_argument("rowRange: bad range");
+    Matrix out(r1 - r0, cols_);
+    for (size_t r = r0; r < r1; ++r)
+        for (size_t c = 0; c < cols_; ++c)
+            out(r - r0, c) = (*this)(r, c);
+    return out;
+}
+
+Matrix
+Matrix::colRange(size_t c0, size_t c1) const
+{
+    if (c0 > c1 || c1 > cols_)
+        throw std::invalid_argument("colRange: bad range");
+    Matrix out(rows_, c1 - c0);
+    for (size_t r = 0; r < rows_; ++r)
+        for (size_t c = c0; c < c1; ++c)
+            out(r, c - c0) = (*this)(r, c);
+    return out;
+}
+
+void
+Matrix::setRow(size_t r, const Matrix &values)
+{
+    if (values.rows() != 1 || values.cols() != cols_)
+        throw std::invalid_argument("setRow: shape mismatch");
+    for (size_t c = 0; c < cols_; ++c)
+        (*this)(r, c) = values(0, c);
+}
+
+bool
+Matrix::operator==(const Matrix &other) const
+{
+    return rows_ == other.rows_ && cols_ == other.cols_ &&
+           data_ == other.data_;
+}
+
+bool
+Matrix::allClose(const Matrix &other, float tol) const
+{
+    if (rows_ != other.rows_ || cols_ != other.cols_)
+        return false;
+    for (size_t i = 0; i < data_.size(); ++i) {
+        if (std::fabs(data_[i] - other.data_[i]) > tol)
+            return false;
+    }
+    return true;
+}
+
+void
+Matrix::reshape(size_t rows, size_t cols)
+{
+    if (rows * cols != size())
+        throw std::invalid_argument("reshape: element count mismatch");
+    rows_ = rows;
+    cols_ = cols;
+}
+
+void
+Matrix::fill(float value)
+{
+    for (auto &x : data_)
+        x = value;
+}
+
+std::string
+Matrix::shapeStr() const
+{
+    return strfmt("[%zu x %zu]", rows_, cols_);
+}
+
+std::string
+Matrix::toString(int decimals) const
+{
+    std::ostringstream os;
+    for (size_t r = 0; r < rows_; ++r) {
+        os << (r == 0 ? "[[" : " [");
+        for (size_t c = 0; c < cols_; ++c) {
+            if (c)
+                os << ", ";
+            os << strfmt("%.*f", decimals, (*this)(r, c));
+        }
+        os << (r + 1 == rows_ ? "]]" : "],") << "\n";
+    }
+    return os.str();
+}
+
+} // namespace vitality

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Dense row-major float32 matrix.
+ *
+ * Matrix is the single tensor type used throughout the library. Attention
+ * kernels, the neural-network substrate, and the workload analyzers all
+ * operate on 2-D matrices; batched / multi-head tensors are represented as
+ * collections of Matrix (one per head), matching how the paper's Algorithm 1
+ * is written per head.
+ *
+ * Shape errors raise std::invalid_argument: they are caller mistakes, not
+ * library bugs, and callers (including the test-suite) may want to catch
+ * them.
+ */
+
+#ifndef VITALITY_TENSOR_MATRIX_H
+#define VITALITY_TENSOR_MATRIX_H
+
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace vitality {
+
+class Rng;
+
+/** A dense rows x cols matrix of float, stored row-major. */
+class Matrix
+{
+  public:
+    /** An empty 0 x 0 matrix. */
+    Matrix();
+
+    /** A rows x cols matrix initialized to zero. */
+    Matrix(size_t rows, size_t cols);
+
+    /** A rows x cols matrix with every entry set to fill. */
+    Matrix(size_t rows, size_t cols, float fill);
+
+    /**
+     * Build from nested initializer lists, e.g. {{1, 2}, {3, 4}}.
+     * All inner lists must have equal length.
+     */
+    Matrix(std::initializer_list<std::initializer_list<float>> rows);
+
+    /** @name Factories */
+    /// @{
+    static Matrix zeros(size_t rows, size_t cols);
+    static Matrix ones(size_t rows, size_t cols);
+    static Matrix full(size_t rows, size_t cols, float value);
+    static Matrix identity(size_t n);
+    /** i.i.d. N(mean, stddev^2) entries drawn from rng. */
+    static Matrix randn(size_t rows, size_t cols, Rng &rng,
+                        float mean = 0.0f, float stddev = 1.0f);
+    /** i.i.d. U[lo, hi) entries drawn from rng. */
+    static Matrix uniform(size_t rows, size_t cols, Rng &rng,
+                          float lo = 0.0f, float hi = 1.0f);
+    /** Wrap an existing flat row-major buffer (copied). */
+    static Matrix fromFlat(size_t rows, size_t cols,
+                           const std::vector<float> &flat);
+    /// @}
+
+    size_t rows() const { return rows_; }
+    size_t cols() const { return cols_; }
+    /** Total number of elements. */
+    size_t size() const { return rows_ * cols_; }
+    bool empty() const { return size() == 0; }
+
+    /** Element access with bounds checked via VITALITY_ASSERT. */
+    float &operator()(size_t r, size_t c);
+    float operator()(size_t r, size_t c) const;
+
+    /** Raw row-major storage. */
+    float *data() { return data_.data(); }
+    const float *data() const { return data_.data(); }
+
+    /** Pointer to the start of row r. */
+    float *rowPtr(size_t r) { return data_.data() + r * cols_; }
+    const float *rowPtr(size_t r) const { return data_.data() + r * cols_; }
+
+    /** Copy of row r as a 1 x cols matrix. */
+    Matrix row(size_t r) const;
+
+    /** Copy of column c as a rows x 1 matrix. */
+    Matrix col(size_t c) const;
+
+    /** Copy of the half-open row range [r0, r1) as a (r1-r0) x cols matrix. */
+    Matrix rowRange(size_t r0, size_t r1) const;
+
+    /** Copy of the half-open column range [c0, c1). */
+    Matrix colRange(size_t c0, size_t c1) const;
+
+    /** Overwrite row r with a 1 x cols matrix. */
+    void setRow(size_t r, const Matrix &values);
+
+    /** True if both shapes and all entries match exactly. */
+    bool operator==(const Matrix &other) const;
+    bool operator!=(const Matrix &other) const { return !(*this == other); }
+
+    /** True if shapes match and entries differ by at most tol. */
+    bool allClose(const Matrix &other, float tol = 1e-5f) const;
+
+    /** Reshape in place; total element count must be preserved. */
+    void reshape(size_t rows, size_t cols);
+
+    /** Set every entry to value. */
+    void fill(float value);
+
+    /** Human-readable shape, e.g. "[196 x 64]". */
+    std::string shapeStr() const;
+
+    /** Render entries for debugging (small matrices only). */
+    std::string toString(int decimals = 4) const;
+
+  private:
+    size_t rows_;
+    size_t cols_;
+    std::vector<float> data_;
+};
+
+} // namespace vitality
+
+#endif // VITALITY_TENSOR_MATRIX_H

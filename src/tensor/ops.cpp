@@ -1,0 +1,451 @@
+#include "tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "base/logging.h"
+
+namespace vitality {
+
+namespace {
+
+void
+requireSameShape(const Matrix &a, const Matrix &b, const char *op)
+{
+    if (a.rows() != b.rows() || a.cols() != b.cols()) {
+        throw std::invalid_argument(
+            strfmt("%s: shape mismatch %s vs %s", op, a.shapeStr().c_str(),
+                   b.shapeStr().c_str()));
+    }
+}
+
+// Block size for the cache-tiled GEMM inner loops. 64 floats = 256 bytes
+// per row strip, keeping three blocks comfortably within L1.
+constexpr size_t kBlock = 64;
+
+} // namespace
+
+Matrix
+matmul(const Matrix &a, const Matrix &b)
+{
+    if (a.cols() != b.rows()) {
+        throw std::invalid_argument(
+            strfmt("matmul: inner dims differ, %s vs %s",
+                   a.shapeStr().c_str(), b.shapeStr().c_str()));
+    }
+    const size_t m = a.rows(), k = a.cols(), n = b.cols();
+    Matrix c(m, n);
+    // Blocked i-k-j order: the innermost loop streams contiguous rows of B
+    // and C, which vectorizes well.
+    for (size_t i0 = 0; i0 < m; i0 += kBlock) {
+        const size_t i1 = std::min(i0 + kBlock, m);
+        for (size_t k0 = 0; k0 < k; k0 += kBlock) {
+            const size_t k1 = std::min(k0 + kBlock, k);
+            for (size_t i = i0; i < i1; ++i) {
+                const float *arow = a.rowPtr(i);
+                float *crow = c.rowPtr(i);
+                for (size_t kk = k0; kk < k1; ++kk) {
+                    const float aik = arow[kk];
+                    const float *brow = b.rowPtr(kk);
+                    for (size_t j = 0; j < n; ++j)
+                        crow[j] += aik * brow[j];
+                }
+            }
+        }
+    }
+    return c;
+}
+
+Matrix
+matmulBT(const Matrix &a, const Matrix &b)
+{
+    if (a.cols() != b.cols()) {
+        throw std::invalid_argument(
+            strfmt("matmulBT: inner dims differ, %s vs %s^T",
+                   a.shapeStr().c_str(), b.shapeStr().c_str()));
+    }
+    const size_t m = a.rows(), k = a.cols(), n = b.rows();
+    Matrix c(m, n);
+    // Row-by-row dot products: both operands stream contiguously.
+    for (size_t i = 0; i < m; ++i) {
+        const float *arow = a.rowPtr(i);
+        float *crow = c.rowPtr(i);
+        for (size_t j = 0; j < n; ++j) {
+            const float *brow = b.rowPtr(j);
+            float acc = 0.0f;
+            for (size_t kk = 0; kk < k; ++kk)
+                acc += arow[kk] * brow[kk];
+            crow[j] = acc;
+        }
+    }
+    return c;
+}
+
+Matrix
+matmulAT(const Matrix &a, const Matrix &b)
+{
+    if (a.rows() != b.rows()) {
+        throw std::invalid_argument(
+            strfmt("matmulAT: inner dims differ, %s^T vs %s",
+                   a.shapeStr().c_str(), b.shapeStr().c_str()));
+    }
+    const size_t m = a.cols(), k = a.rows(), n = b.cols();
+    Matrix c(m, n);
+    // Accumulate rank-1 updates: for each shared row kk, C += a_kk^T b_kk.
+    for (size_t kk = 0; kk < k; ++kk) {
+        const float *arow = a.rowPtr(kk);
+        const float *brow = b.rowPtr(kk);
+        for (size_t i = 0; i < m; ++i) {
+            const float aki = arow[i];
+            float *crow = c.rowPtr(i);
+            for (size_t j = 0; j < n; ++j)
+                crow[j] += aki * brow[j];
+        }
+    }
+    return c;
+}
+
+Matrix
+transpose(const Matrix &a)
+{
+    Matrix t(a.cols(), a.rows());
+    for (size_t r = 0; r < a.rows(); ++r)
+        for (size_t c = 0; c < a.cols(); ++c)
+            t(c, r) = a(r, c);
+    return t;
+}
+
+Matrix
+add(const Matrix &a, const Matrix &b)
+{
+    requireSameShape(a, b, "add");
+    Matrix c(a.rows(), a.cols());
+    for (size_t i = 0; i < a.size(); ++i)
+        c.data()[i] = a.data()[i] + b.data()[i];
+    return c;
+}
+
+Matrix
+sub(const Matrix &a, const Matrix &b)
+{
+    requireSameShape(a, b, "sub");
+    Matrix c(a.rows(), a.cols());
+    for (size_t i = 0; i < a.size(); ++i)
+        c.data()[i] = a.data()[i] - b.data()[i];
+    return c;
+}
+
+Matrix
+hadamard(const Matrix &a, const Matrix &b)
+{
+    requireSameShape(a, b, "hadamard");
+    Matrix c(a.rows(), a.cols());
+    for (size_t i = 0; i < a.size(); ++i)
+        c.data()[i] = a.data()[i] * b.data()[i];
+    return c;
+}
+
+Matrix
+divide(const Matrix &a, const Matrix &b)
+{
+    requireSameShape(a, b, "divide");
+    Matrix c(a.rows(), a.cols());
+    for (size_t i = 0; i < a.size(); ++i)
+        c.data()[i] = a.data()[i] / b.data()[i];
+    return c;
+}
+
+Matrix
+scale(const Matrix &a, float s)
+{
+    Matrix c(a.rows(), a.cols());
+    for (size_t i = 0; i < a.size(); ++i)
+        c.data()[i] = a.data()[i] * s;
+    return c;
+}
+
+Matrix
+addScalar(const Matrix &a, float s)
+{
+    Matrix c(a.rows(), a.cols());
+    for (size_t i = 0; i < a.size(); ++i)
+        c.data()[i] = a.data()[i] + s;
+    return c;
+}
+
+Matrix
+rowSum(const Matrix &a)
+{
+    Matrix s(a.rows(), 1);
+    for (size_t r = 0; r < a.rows(); ++r) {
+        float acc = 0.0f;
+        const float *row = a.rowPtr(r);
+        for (size_t c = 0; c < a.cols(); ++c)
+            acc += row[c];
+        s(r, 0) = acc;
+    }
+    return s;
+}
+
+Matrix
+colSum(const Matrix &a)
+{
+    Matrix s(1, a.cols());
+    for (size_t r = 0; r < a.rows(); ++r) {
+        const float *row = a.rowPtr(r);
+        float *srow = s.rowPtr(0);
+        for (size_t c = 0; c < a.cols(); ++c)
+            srow[c] += row[c];
+    }
+    return s;
+}
+
+Matrix
+rowMean(const Matrix &a)
+{
+    if (a.cols() == 0)
+        throw std::invalid_argument("rowMean: zero columns");
+    return scale(rowSum(a), 1.0f / static_cast<float>(a.cols()));
+}
+
+Matrix
+colMean(const Matrix &a)
+{
+    if (a.rows() == 0)
+        throw std::invalid_argument("colMean: zero rows");
+    return scale(colSum(a), 1.0f / static_cast<float>(a.rows()));
+}
+
+Matrix
+broadcastAddRow(const Matrix &a, const Matrix &v)
+{
+    if (v.rows() != 1 || v.cols() != a.cols()) {
+        throw std::invalid_argument(
+            strfmt("broadcastAddRow: %s vs row vector %s",
+                   a.shapeStr().c_str(), v.shapeStr().c_str()));
+    }
+    Matrix c(a.rows(), a.cols());
+    for (size_t r = 0; r < a.rows(); ++r)
+        for (size_t col = 0; col < a.cols(); ++col)
+            c(r, col) = a(r, col) + v(0, col);
+    return c;
+}
+
+Matrix
+broadcastSubRow(const Matrix &a, const Matrix &v)
+{
+    return broadcastAddRow(a, scale(v, -1.0f));
+}
+
+Matrix
+broadcastAddCol(const Matrix &a, const Matrix &v)
+{
+    if (v.cols() != 1 || v.rows() != a.rows()) {
+        throw std::invalid_argument(
+            strfmt("broadcastAddCol: %s vs col vector %s",
+                   a.shapeStr().c_str(), v.shapeStr().c_str()));
+    }
+    Matrix c(a.rows(), a.cols());
+    for (size_t r = 0; r < a.rows(); ++r)
+        for (size_t col = 0; col < a.cols(); ++col)
+            c(r, col) = a(r, col) + v(r, 0);
+    return c;
+}
+
+Matrix
+scaleRows(const Matrix &a, const Matrix &v)
+{
+    if (v.cols() != 1 || v.rows() != a.rows()) {
+        throw std::invalid_argument(
+            strfmt("scaleRows: %s vs col vector %s", a.shapeStr().c_str(),
+                   v.shapeStr().c_str()));
+    }
+    Matrix c(a.rows(), a.cols());
+    for (size_t r = 0; r < a.rows(); ++r)
+        for (size_t col = 0; col < a.cols(); ++col)
+            c(r, col) = a(r, col) * v(r, 0);
+    return c;
+}
+
+Matrix
+divRows(const Matrix &a, const Matrix &v)
+{
+    if (v.cols() != 1 || v.rows() != a.rows()) {
+        throw std::invalid_argument(
+            strfmt("divRows: %s vs col vector %s", a.shapeStr().c_str(),
+                   v.shapeStr().c_str()));
+    }
+    Matrix c(a.rows(), a.cols());
+    for (size_t r = 0; r < a.rows(); ++r) {
+        const float inv = 1.0f / v(r, 0);
+        for (size_t col = 0; col < a.cols(); ++col)
+            c(r, col) = a(r, col) * inv;
+    }
+    return c;
+}
+
+Matrix
+softmaxRows(const Matrix &a)
+{
+    Matrix s(a.rows(), a.cols());
+    for (size_t r = 0; r < a.rows(); ++r) {
+        const float *in = a.rowPtr(r);
+        float *out = s.rowPtr(r);
+        float maxv = in[0];
+        for (size_t c = 1; c < a.cols(); ++c)
+            maxv = std::max(maxv, in[c]);
+        float denom = 0.0f;
+        for (size_t c = 0; c < a.cols(); ++c) {
+            out[c] = std::exp(in[c] - maxv);
+            denom += out[c];
+        }
+        const float inv = 1.0f / denom;
+        for (size_t c = 0; c < a.cols(); ++c)
+            out[c] *= inv;
+    }
+    return s;
+}
+
+Matrix
+expElem(const Matrix &a)
+{
+    return mapElem(a, [](float x) { return std::exp(x); });
+}
+
+Matrix
+mapElem(const Matrix &a, const std::function<float(float)> &fn)
+{
+    Matrix c(a.rows(), a.cols());
+    for (size_t i = 0; i < a.size(); ++i)
+        c.data()[i] = fn(a.data()[i]);
+    return c;
+}
+
+Matrix
+outer(const Matrix &u, const Matrix &v)
+{
+    if (u.cols() != 1 || v.cols() != 1)
+        throw std::invalid_argument("outer: expects column vectors");
+    Matrix c(u.rows(), v.rows());
+    for (size_t r = 0; r < u.rows(); ++r)
+        for (size_t col = 0; col < v.rows(); ++col)
+            c(r, col) = u(r, 0) * v(col, 0);
+    return c;
+}
+
+Matrix
+concatRows(const Matrix &a, const Matrix &b)
+{
+    if (a.cols() != b.cols())
+        throw std::invalid_argument("concatRows: column mismatch");
+    Matrix c(a.rows() + b.rows(), a.cols());
+    for (size_t r = 0; r < a.rows(); ++r)
+        for (size_t col = 0; col < a.cols(); ++col)
+            c(r, col) = a(r, col);
+    for (size_t r = 0; r < b.rows(); ++r)
+        for (size_t col = 0; col < b.cols(); ++col)
+            c(a.rows() + r, col) = b(r, col);
+    return c;
+}
+
+Matrix
+concatCols(const Matrix &a, const Matrix &b)
+{
+    if (a.rows() != b.rows())
+        throw std::invalid_argument("concatCols: row mismatch");
+    Matrix c(a.rows(), a.cols() + b.cols());
+    for (size_t r = 0; r < a.rows(); ++r) {
+        for (size_t col = 0; col < a.cols(); ++col)
+            c(r, col) = a(r, col);
+        for (size_t col = 0; col < b.cols(); ++col)
+            c(r, a.cols() + col) = b(r, col);
+    }
+    return c;
+}
+
+float
+maxAbs(const Matrix &a)
+{
+    float best = 0.0f;
+    for (size_t i = 0; i < a.size(); ++i)
+        best = std::max(best, std::fabs(a.data()[i]));
+    return best;
+}
+
+float
+maxAbsDiff(const Matrix &a, const Matrix &b)
+{
+    requireSameShape(a, b, "maxAbsDiff");
+    float best = 0.0f;
+    for (size_t i = 0; i < a.size(); ++i)
+        best = std::max(best, std::fabs(a.data()[i] - b.data()[i]));
+    return best;
+}
+
+float
+frobeniusNorm(const Matrix &a)
+{
+    double acc = 0.0;
+    for (size_t i = 0; i < a.size(); ++i)
+        acc += static_cast<double>(a.data()[i]) * a.data()[i];
+    return static_cast<float>(std::sqrt(acc));
+}
+
+float
+mean(const Matrix &a)
+{
+    if (a.empty())
+        throw std::invalid_argument("mean: empty matrix");
+    return sum(a) / static_cast<float>(a.size());
+}
+
+float
+sum(const Matrix &a)
+{
+    double acc = 0.0;
+    for (size_t i = 0; i < a.size(); ++i)
+        acc += a.data()[i];
+    return static_cast<float>(acc);
+}
+
+size_t
+argmaxRow(const Matrix &a, size_t r)
+{
+    VITALITY_ASSERT(r < a.rows() && a.cols() > 0, "argmaxRow out of range");
+    size_t best = 0;
+    for (size_t c = 1; c < a.cols(); ++c) {
+        if (a(r, c) > a(r, best))
+            best = c;
+    }
+    return best;
+}
+
+float
+fractionInRange(const Matrix &a, float lo, float hi)
+{
+    if (a.empty())
+        return 0.0f;
+    size_t count = 0;
+    for (size_t i = 0; i < a.size(); ++i) {
+        const float x = a.data()[i];
+        if (x >= lo && x < hi)
+            ++count;
+    }
+    return static_cast<float>(count) / static_cast<float>(a.size());
+}
+
+float
+sparsity(const Matrix &a)
+{
+    if (a.empty())
+        return 0.0f;
+    size_t zeros = 0;
+    for (size_t i = 0; i < a.size(); ++i) {
+        if (a.data()[i] == 0.0f)
+            ++zeros;
+    }
+    return static_cast<float>(zeros) / static_cast<float>(a.size());
+}
+
+} // namespace vitality

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Free-function linear algebra over Matrix.
+ *
+ * These are the primitive operations used by every attention kernel and by
+ * the autograd layer. All functions validate shapes and throw
+ * std::invalid_argument on mismatch. matmul is cache-blocked; everything
+ * else is a straightforward single pass.
+ */
+
+#ifndef VITALITY_TENSOR_OPS_H
+#define VITALITY_TENSOR_OPS_H
+
+#include <functional>
+
+#include "tensor/matrix.h"
+
+namespace vitality {
+
+/** C = A * B. A is m x k, B is k x n. */
+Matrix matmul(const Matrix &a, const Matrix &b);
+
+/** C = A * B^T without materializing the transpose. A is m x k, B is n x k. */
+Matrix matmulBT(const Matrix &a, const Matrix &b);
+
+/** C = A^T * B without materializing the transpose. A is k x m, B is k x n. */
+Matrix matmulAT(const Matrix &a, const Matrix &b);
+
+/** B = A^T. */
+Matrix transpose(const Matrix &a);
+
+/** Element-wise A + B. */
+Matrix add(const Matrix &a, const Matrix &b);
+
+/** Element-wise A - B. */
+Matrix sub(const Matrix &a, const Matrix &b);
+
+/** Element-wise (Hadamard) A .* B. */
+Matrix hadamard(const Matrix &a, const Matrix &b);
+
+/** Element-wise A ./ B. */
+Matrix divide(const Matrix &a, const Matrix &b);
+
+/** s * A. */
+Matrix scale(const Matrix &a, float s);
+
+/** A + s (every entry). */
+Matrix addScalar(const Matrix &a, float s);
+
+/** Column vector (rows x 1) of per-row sums. */
+Matrix rowSum(const Matrix &a);
+
+/** Row vector (1 x cols) of per-column sums; 1_n^T A in the paper. */
+Matrix colSum(const Matrix &a);
+
+/** Column vector of per-row means. */
+Matrix rowMean(const Matrix &a);
+
+/** Row vector of per-column means; the key-mean K-bar in Algorithm 1. */
+Matrix colMean(const Matrix &a);
+
+/** A + 1_n * v, adding the 1 x cols row vector v to every row. */
+Matrix broadcastAddRow(const Matrix &a, const Matrix &v);
+
+/** A - 1_n * v, subtracting the 1 x cols row vector v from every row. */
+Matrix broadcastSubRow(const Matrix &a, const Matrix &v);
+
+/** A + v * 1_n^T, adding the rows x 1 column vector v to every column. */
+Matrix broadcastAddCol(const Matrix &a, const Matrix &v);
+
+/** A .* (v * 1^T): scale row i of A by v(i, 0). */
+Matrix scaleRows(const Matrix &a, const Matrix &v);
+
+/** A ./ (v * 1^T): divide row i of A by v(i, 0) = diag(v)^-1 * A. */
+Matrix divRows(const Matrix &a, const Matrix &v);
+
+/** Row-wise numerically-stable softmax. */
+Matrix softmaxRows(const Matrix &a);
+
+/** Element-wise exp. */
+Matrix expElem(const Matrix &a);
+
+/** Apply fn to every element. */
+Matrix mapElem(const Matrix &a, const std::function<float(float)> &fn);
+
+/** Outer product u * v^T of a column vector u and column vector v. */
+Matrix outer(const Matrix &u, const Matrix &v);
+
+/** Stack A on top of B (same column count). */
+Matrix concatRows(const Matrix &a, const Matrix &b);
+
+/** Place A left of B (same row count). */
+Matrix concatCols(const Matrix &a, const Matrix &b);
+
+/** Largest |a_ij|. */
+float maxAbs(const Matrix &a);
+
+/** Largest |a_ij - b_ij|; shapes must match. */
+float maxAbsDiff(const Matrix &a, const Matrix &b);
+
+/** Frobenius norm. */
+float frobeniusNorm(const Matrix &a);
+
+/** Mean of all entries. */
+float mean(const Matrix &a);
+
+/** Sum of all entries. */
+float sum(const Matrix &a);
+
+/** Index of the max entry in row r. */
+size_t argmaxRow(const Matrix &a, size_t r);
+
+/** Fraction of entries within the half-open interval [lo, hi). */
+float fractionInRange(const Matrix &a, float lo, float hi);
+
+/** Fraction of exactly-zero entries. */
+float sparsity(const Matrix &a);
+
+} // namespace vitality
+
+#endif // VITALITY_TENSOR_OPS_H
