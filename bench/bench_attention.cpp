@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Micro-benchmark: Taylor vs softmax vs unified multi-head attention at
+ * the DeiT-Tiny/Small/Base shapes (n = 197 tokens, d_h = 64 per head).
+ *
+ * For each (model, kernel) pair the bench runs the pooled multi-head
+ * forward over packed inputs, reports mean wall-clock per invocation and
+ * the analytic per-invocation OpCounts, and emits a JSON array so the
+ * results can be tracked as BENCH_*.json trajectories across PRs.
+ *
+ * Usage: bench_attention [reps] [output.json]
+ *   reps          repetitions per pair after one warmup (default 3)
+ *   output.json   also write the JSON there (stdout always gets it)
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "attention/zoo.h"
+#include "base/logging.h"
+#include "base/rng.h"
+#include "model/vit_config.h"
+#include "runtime/multi_head_attention.h"
+#include "runtime/thread_pool.h"
+#include "tensor/matrix.h"
+
+using namespace vitality;
+
+namespace {
+
+double
+nowMs()
+{
+    using clock = std::chrono::steady_clock;
+    return std::chrono::duration<double, std::milli>(
+               clock::now().time_since_epoch())
+        .count();
+}
+
+struct Result
+{
+    std::string model;
+    std::string kernel;
+    size_t tokens, heads, headDim;
+    int reps;
+    double wallMsMean;
+    OpCounts counts; // per multi-head invocation (all heads, one layer)
+};
+
+std::string
+toJson(const std::vector<Result> &results, size_t pool_threads)
+{
+    std::ostringstream os;
+    os << "{\n  \"bench\": \"multi_head_attention\",\n";
+    os << "  \"pool_threads\": " << pool_threads << ",\n";
+    os << "  \"results\": [\n";
+    for (size_t i = 0; i < results.size(); ++i) {
+        const Result &r = results[i];
+        os << "    {\"model\": \"" << r.model << "\", \"kernel\": \""
+           << r.kernel << "\", \"tokens\": " << r.tokens
+           << ", \"heads\": " << r.heads
+           << ", \"head_dim\": " << r.headDim << ", \"reps\": " << r.reps
+           << ", \"wall_ms_mean\": " << r.wallMsMean
+           << ", \"gflops\": "
+           << static_cast<double>(r.counts.flops()) * 1e-9
+           << ", \"ops\": {\"mul\": " << r.counts.mul
+           << ", \"add\": " << r.counts.add
+           << ", \"div\": " << r.counts.div
+           << ", \"exp\": " << r.counts.exp << "}}"
+           << (i + 1 < results.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n}\n";
+    return os.str();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const int reps = argc > 1 ? std::atoi(argv[1]) : 3;
+    if (reps <= 0)
+        fatal("bench_attention: reps must be positive");
+
+    const std::vector<VitConfig> models = {
+        VitConfig::deitTiny(), VitConfig::deitSmall(),
+        VitConfig::deitBase()};
+    const std::vector<AttentionType> kernels = {
+        AttentionType::Taylor, AttentionType::Softmax,
+        AttentionType::Unified};
+
+    ThreadPool pool;
+    std::vector<Result> results;
+    for (const VitConfig &cfg : models) {
+        Rng rng(0xbe9c ^ cfg.dModel);
+        const Matrix q =
+            Matrix::randn(cfg.tokens, cfg.dModel, rng, 0.0f, 0.5f);
+        const Matrix k =
+            Matrix::randn(cfg.tokens, cfg.dModel, rng, 0.0f, 0.5f);
+        const Matrix v = Matrix::randn(cfg.tokens, cfg.dModel, rng);
+
+        for (AttentionType type : kernels) {
+            AttentionKernelPtr kernel = makeAttention(type);
+            MultiHeadAttention mha(kernel, cfg.heads);
+
+            Matrix out;
+            mha.forwardInto(pool, q, k, v, out); // warmup + allocation
+
+            const double t0 = nowMs();
+            for (int r = 0; r < reps; ++r)
+                mha.forwardInto(pool, q, k, v, out);
+            const double per_rep = (nowMs() - t0) / reps;
+
+            Result res;
+            res.model = cfg.name;
+            res.kernel = kernel->name();
+            res.tokens = cfg.tokens;
+            res.heads = cfg.heads;
+            res.headDim = cfg.headDim();
+            res.reps = reps;
+            res.wallMsMean = per_rep;
+            res.counts = mha.opCounts(cfg.tokens, cfg.dModel);
+            results.push_back(res);
+
+            inform("%-10s %-14s %8.3f ms  %.4f GFLOPs", cfg.name.c_str(),
+                   kernel->name().c_str(), per_rep,
+                   static_cast<double>(res.counts.flops()) * 1e-9);
+        }
+    }
+
+    const std::string json = toJson(results, pool.size());
+    std::printf("%s", json.c_str());
+    if (argc > 2) {
+        std::ofstream file(argv[2]);
+        if (!file)
+            fatal("bench_attention: cannot write %s", argv[2]);
+        file << json;
+        inform("wrote %s", argv[2]);
+    }
+    return 0;
+}

@@ -4,6 +4,15 @@
 
 namespace vitality {
 
+void
+AttentionKernel::forwardInto(AttentionContext &ctx, const Matrix &q,
+                             const Matrix &k, const Matrix &v,
+                             Matrix &out) const
+{
+    (void)ctx;
+    out = forward(q, k, v);
+}
+
 OpCounts &
 OpCounts::operator+=(const OpCounts &o)
 {

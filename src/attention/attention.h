@@ -22,7 +22,9 @@
 #include <string>
 #include <vector>
 
+#include "sparse/mask.h"
 #include "tensor/matrix.h"
+#include "tensor/workspace.h"
 
 namespace vitality {
 
@@ -81,6 +83,37 @@ enum class AttentionType
 /** Name used in tables ("Softmax", "Taylor", ...). */
 std::string attentionTypeName(AttentionType type);
 
+/**
+ * Per-thread execution state for allocation-free attention.
+ *
+ * Holds the scratch Workspace every forwardInto() draws intermediates
+ * from, plus a recycled SparseMask for the kernels with a sparse branch
+ * (SangerSparse, Unified). The runtime layer owns one context per worker
+ * thread; contexts are not thread-safe and must never be shared between
+ * concurrent forwards.
+ */
+class AttentionContext
+{
+  public:
+    AttentionContext() : mask_(0, 0) {}
+
+    AttentionContext(const AttentionContext &) = delete;
+    AttentionContext &operator=(const AttentionContext &) = delete;
+
+    Workspace &workspace() { return ws_; }
+
+    /**
+     * The cached mask, recycled across forwards. Callers reassign it
+     * wholesale (via SparseMask::assignFromThreshold) before reading,
+     * so it is handed out as-is — no clearing pass.
+     */
+    SparseMask &mask() { return mask_; }
+
+  private:
+    Workspace ws_;
+    SparseMask mask_;
+};
+
 /** Abstract attention kernel: per-head (Q, K, V) -> Z. */
 class AttentionKernel
 {
@@ -103,6 +136,22 @@ class AttentionKernel
      */
     virtual Matrix forward(const Matrix &q, const Matrix &k,
                            const Matrix &v) const = 0;
+
+    /**
+     * Allocation-free forward: writes Z into out (resized to n x d), with
+     * every intermediate drawn from ctx's workspace. After the first call
+     * with a given shape the steady state performs no heap allocations.
+     * out must not be a matrix checked out of ctx's workspace after the
+     * kernel's own frame opens — a caller-held slot or plain Matrix is
+     * fine. Matches forward() to float round-off (<= 1e-5 max-abs-diff;
+     * the built-in kernels are bitwise identical).
+     *
+     * The default implementation falls back to forward() so external
+     * kernels keep working; every built-in kernel overrides it.
+     */
+    virtual void forwardInto(AttentionContext &ctx, const Matrix &q,
+                             const Matrix &k, const Matrix &v,
+                             Matrix &out) const;
 
     /** Analytic per-head op counts for a sequence of n tokens, dim d. */
     virtual OpCounts opCounts(size_t n, size_t d) const = 0;

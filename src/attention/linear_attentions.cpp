@@ -14,18 +14,24 @@ namespace {
  * Shared tail of every kernelized linear attention:
  * Z = diag^-1(phi_q (phi_k^T 1)) phi_q (phi_k^T V).
  */
-Matrix
-normalizedLinearAttention(const Matrix &phi_q, const Matrix &phi_k,
-                          const Matrix &v)
+void
+normalizedLinearAttentionInto(Matrix &out, const Matrix &phi_q,
+                              const Matrix &phi_k, const Matrix &v,
+                              Workspace &ws)
 {
-    const Matrix context = matmulAT(phi_k, v);            // m x d
-    const Matrix ksum = colSum(phi_k);                    // 1 x m
-    Matrix denom = matmulBT(phi_q, ksum);                 // n x 1
+    Workspace::Frame frame(ws);
+    Matrix &context = ws.acquire(phi_k.cols(), v.cols()); // m x d
+    matmulATInto(context, phi_k, v);
+    Matrix &ksum = ws.acquire(1, phi_k.cols());           // 1 x m
+    colSumInto(ksum, phi_k);
+    Matrix &denom = ws.acquire(phi_q.rows(), 1);          // n x 1
+    matmulBTInto(denom, phi_q, ksum);
     // Guard fully-degenerate rows; phi is non-negative for all kernels
     // here so the sum can only be ~0 when every feature vanished.
     for (size_t r = 0; r < denom.rows(); ++r)
         denom(r, 0) = std::max(denom(r, 0), 1e-12f);
-    return divRows(matmul(phi_q, context), denom);
+    matmulInto(out, phi_q, context);
+    divRowsInto(out, out, denom);
 }
 
 /** Gram-Schmidt orthonormalization of the rows of m (in d-sized blocks). */
@@ -72,6 +78,7 @@ PerformerAttention::featuresFor(size_t d) const
 const Matrix &
 PerformerAttention::projection(size_t d) const
 {
+    std::lock_guard<std::mutex> lock(cacheMutex_);
     auto it = projectionCache_.find(d);
     if (it == projectionCache_.end()) {
         const size_t m = featuresFor(d);
@@ -86,9 +93,48 @@ PerformerAttention::projection(size_t d) const
     return it->second;
 }
 
+namespace {
+
+/**
+ * FAVOR+ feature map phi(x) = exp(W x~ - |x~|^2 / 2) / sqrt(m) written
+ * into phi, with scratch from ws.
+ */
+void
+performerFeaturesInto(Matrix &phi, const Matrix &x, const Matrix &w,
+                      float input_scale, float feat_scale, Workspace &ws)
+{
+    Workspace::Frame frame(ws);
+    Matrix &xs = ws.acquire(x.rows(), x.cols());
+    scaleInto(xs, x, input_scale);
+    matmulBTInto(phi, xs, w); // n x m projections
+    Matrix &sq = ws.acquire(x.rows(), x.cols());
+    hadamardInto(sq, xs, xs);
+    Matrix &norms = ws.acquire(x.rows(), 1); // n x 1, |x~|^2
+    rowSumInto(norms, sq);
+    for (size_t r = 0; r < phi.rows(); ++r) {
+        const float half_sq = 0.5f * norms(r, 0);
+        float *row = phi.rowPtr(r);
+        for (size_t c = 0; c < phi.cols(); ++c)
+            row[c] = std::exp(row[c] - half_sq) * feat_scale;
+    }
+}
+
+} // namespace
+
 Matrix
 PerformerAttention::forward(const Matrix &q, const Matrix &k,
                             const Matrix &v) const
+{
+    AttentionContext ctx;
+    Matrix out;
+    forwardInto(ctx, q, k, v, out);
+    return out;
+}
+
+void
+PerformerAttention::forwardInto(AttentionContext &ctx, const Matrix &q,
+                                const Matrix &k, const Matrix &v,
+                                Matrix &out) const
 {
     if (q.cols() != k.cols() || k.rows() != v.rows())
         throw std::invalid_argument("performer: shape mismatch");
@@ -101,20 +147,13 @@ PerformerAttention::forward(const Matrix &q, const Matrix &k,
         1.0f / std::pow(static_cast<float>(d), 0.25f);
     const float feat_scale = 1.0f / std::sqrt(static_cast<float>(m));
 
-    auto features = [&](const Matrix &x) {
-        const Matrix xs = scale(x, input_scale);
-        Matrix proj = matmulBT(xs, w);       // n x m
-        const Matrix sq = rowSum(hadamard(xs, xs)); // n x 1, |x~|^2
-        Matrix phi(proj.rows(), proj.cols());
-        for (size_t r = 0; r < proj.rows(); ++r) {
-            const float half_sq = 0.5f * sq(r, 0);
-            for (size_t c = 0; c < proj.cols(); ++c)
-                phi(r, c) = std::exp(proj(r, c) - half_sq) * feat_scale;
-        }
-        return phi;
-    };
-
-    return normalizedLinearAttention(features(q), features(k), v);
+    Workspace &ws = ctx.workspace();
+    Workspace::Frame frame(ws);
+    Matrix &phi_q = ws.acquire(q.rows(), m);
+    performerFeaturesInto(phi_q, q, w, input_scale, feat_scale, ws);
+    Matrix &phi_k = ws.acquire(k.rows(), m);
+    performerFeaturesInto(phi_k, k, w, input_scale, feat_scale, ws);
+    normalizedLinearAttentionInto(out, phi_q, phi_k, v, ws);
 }
 
 OpCounts
@@ -145,15 +184,30 @@ Matrix
 LinearTransformerAttention::forward(const Matrix &q, const Matrix &k,
                                     const Matrix &v) const
 {
+    AttentionContext ctx;
+    Matrix out;
+    forwardInto(ctx, q, k, v, out);
+    return out;
+}
+
+void
+LinearTransformerAttention::forwardInto(AttentionContext &ctx,
+                                        const Matrix &q, const Matrix &k,
+                                        const Matrix &v, Matrix &out) const
+{
     if (q.cols() != k.cols() || k.rows() != v.rows())
         throw std::invalid_argument("linear transformer: shape mismatch");
 
     auto elu1 = [](float x) {
         return x > 0.0f ? x + 1.0f : std::exp(x);
     };
-    const Matrix phi_q = mapElem(q, elu1);
-    const Matrix phi_k = mapElem(k, elu1);
-    return normalizedLinearAttention(phi_q, phi_k, v);
+    Workspace &ws = ctx.workspace();
+    Workspace::Frame frame(ws);
+    Matrix &phi_q = ws.acquire(q.rows(), q.cols());
+    mapElemInto(phi_q, q, elu1);
+    Matrix &phi_k = ws.acquire(k.rows(), k.cols());
+    mapElemInto(phi_k, k, elu1);
+    normalizedLinearAttentionInto(out, phi_q, phi_k, v, ws);
 }
 
 OpCounts
@@ -181,13 +235,33 @@ Matrix
 EfficientAttention::forward(const Matrix &q, const Matrix &k,
                             const Matrix &v) const
 {
+    AttentionContext ctx;
+    Matrix out;
+    forwardInto(ctx, q, k, v, out);
+    return out;
+}
+
+void
+EfficientAttention::forwardInto(AttentionContext &ctx, const Matrix &q,
+                                const Matrix &k, const Matrix &v,
+                                Matrix &out) const
+{
     if (q.cols() != k.cols() || k.rows() != v.rows())
         throw std::invalid_argument("efficient attention: shape mismatch");
 
-    const Matrix rho_q = softmaxRows(q);
+    Workspace &ws = ctx.workspace();
+    Workspace::Frame frame(ws);
+    Matrix &rho_q = ws.acquire(q.rows(), q.cols());
+    softmaxRowsInto(rho_q, q);
     // Column softmax of K == row softmax of K^T, transposed back.
-    const Matrix rho_k = transpose(softmaxRows(transpose(k)));
-    return matmul(rho_q, matmulAT(rho_k, v));
+    Matrix &kt = ws.acquire(k.cols(), k.rows());
+    transposeInto(kt, k);
+    softmaxRowsInto(kt, kt);
+    Matrix &rho_k = ws.acquire(k.rows(), k.cols());
+    transposeInto(rho_k, kt);
+    Matrix &context = ws.acquire(k.cols(), v.cols());
+    matmulATInto(context, rho_k, v);
+    matmulInto(out, rho_q, context);
 }
 
 OpCounts
@@ -220,6 +294,7 @@ LinformerAttention::LinformerAttention(size_t proj_dim, uint64_t seed)
 const std::pair<Matrix, Matrix> &
 LinformerAttention::projections(size_t n) const
 {
+    std::lock_guard<std::mutex> lock(cacheMutex_);
     auto it = projectionCache_.find(n);
     if (it == projectionCache_.end()) {
         Rng rng(seed_ ^ (0x11f0ULL * n));
@@ -237,16 +312,34 @@ Matrix
 LinformerAttention::forward(const Matrix &q, const Matrix &k,
                             const Matrix &v) const
 {
+    AttentionContext ctx;
+    Matrix out;
+    forwardInto(ctx, q, k, v, out);
+    return out;
+}
+
+void
+LinformerAttention::forwardInto(AttentionContext &ctx, const Matrix &q,
+                                const Matrix &k, const Matrix &v,
+                                Matrix &out) const
+{
     if (q.cols() != k.cols() || k.rows() != v.rows())
         throw std::invalid_argument("linformer: shape mismatch");
 
     const auto &[e, f] = projections(k.rows());
-    const Matrix k_proj = matmul(e, k); // k x d
-    const Matrix v_proj = matmul(f, v); // k x d
+    Workspace &ws = ctx.workspace();
+    Workspace::Frame frame(ws);
+    Matrix &k_proj = ws.acquire(projDim_, k.cols()); // k x d
+    matmulInto(k_proj, e, k);
+    Matrix &v_proj = ws.acquire(projDim_, v.cols()); // k x d
+    matmulInto(v_proj, f, v);
     const float inv_sqrt_d =
         1.0f / std::sqrt(static_cast<float>(q.cols()));
-    const Matrix s = softmaxRows(scale(matmulBT(q, k_proj), inv_sqrt_d));
-    return matmul(s, v_proj);
+    Matrix &s = ws.acquire(q.rows(), projDim_);
+    matmulBTInto(s, q, k_proj);
+    scaleInto(s, s, inv_sqrt_d);
+    softmaxRowsInto(s, s);
+    matmulInto(out, s, v_proj);
 }
 
 OpCounts

@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 
 #include "attention/attention.h"
 
@@ -43,6 +44,10 @@ class PerformerAttention : public AttentionKernel
     Matrix forward(const Matrix &q, const Matrix &k,
                    const Matrix &v) const override;
 
+    void forwardInto(AttentionContext &ctx, const Matrix &q,
+                     const Matrix &k, const Matrix &v,
+                     Matrix &out) const override;
+
     OpCounts opCounts(size_t n, size_t d) const override;
 
     std::vector<ProcessorKind> processors() const override;
@@ -51,11 +56,17 @@ class PerformerAttention : public AttentionKernel
     size_t featuresFor(size_t d) const;
 
   private:
-    /** Orthogonal random features for dimension d (cached per d). */
+    /**
+     * Orthogonal random features for dimension d (cached per d). The
+     * cache is mutex-guarded because MultiHeadAttention calls the const
+     * forward paths concurrently on a shared kernel instance; returned
+     * references stay valid since map nodes are never erased.
+     */
     const Matrix &projection(size_t d) const;
 
     size_t numFeatures_;
     uint64_t seed_;
+    mutable std::mutex cacheMutex_;
     mutable std::map<size_t, Matrix> projectionCache_;
 };
 
@@ -75,6 +86,10 @@ class LinearTransformerAttention : public AttentionKernel
     Matrix forward(const Matrix &q, const Matrix &k,
                    const Matrix &v) const override;
 
+    void forwardInto(AttentionContext &ctx, const Matrix &q,
+                     const Matrix &k, const Matrix &v,
+                     Matrix &out) const override;
+
     OpCounts opCounts(size_t n, size_t d) const override;
 
     std::vector<ProcessorKind> processors() const override;
@@ -93,6 +108,10 @@ class EfficientAttention : public AttentionKernel
 
     Matrix forward(const Matrix &q, const Matrix &k,
                    const Matrix &v) const override;
+
+    void forwardInto(AttentionContext &ctx, const Matrix &q,
+                     const Matrix &k, const Matrix &v,
+                     Matrix &out) const override;
 
     OpCounts opCounts(size_t n, size_t d) const override;
 
@@ -120,6 +139,10 @@ class LinformerAttention : public AttentionKernel
     Matrix forward(const Matrix &q, const Matrix &k,
                    const Matrix &v) const override;
 
+    void forwardInto(AttentionContext &ctx, const Matrix &q,
+                     const Matrix &k, const Matrix &v,
+                     Matrix &out) const override;
+
     OpCounts opCounts(size_t n, size_t d) const override;
 
     std::vector<ProcessorKind> processors() const override;
@@ -127,11 +150,16 @@ class LinformerAttention : public AttentionKernel
     size_t projDim() const { return projDim_; }
 
   private:
-    /** Projection pair (E, F) for sequence length n (cached per n). */
+    /**
+     * Projection pair (E, F) for sequence length n (cached per n).
+     * Mutex-guarded for concurrent per-head forwards, like Performer's
+     * projection cache.
+     */
     const std::pair<Matrix, Matrix> &projections(size_t n) const;
 
     size_t projDim_;
     uint64_t seed_;
+    mutable std::mutex cacheMutex_;
     mutable std::map<size_t, std::pair<Matrix, Matrix>> projectionCache_;
 };
 

@@ -7,20 +7,40 @@
 
 namespace vitality {
 
-Matrix
-SoftmaxAttention::similarity(const Matrix &q, const Matrix &k)
+void
+SoftmaxAttention::similarityInto(Matrix &dst, const Matrix &q,
+                                 const Matrix &k)
 {
     if (q.cols() != k.cols())
         throw std::invalid_argument("similarity: Q/K dim mismatch");
     const float inv_sqrt_d =
         1.0f / std::sqrt(static_cast<float>(q.cols()));
-    return scale(matmulBT(q, k), inv_sqrt_d);
+    matmulBTInto(dst, q, k);
+    scaleInto(dst, dst, inv_sqrt_d);
+}
+
+Matrix
+SoftmaxAttention::similarity(const Matrix &q, const Matrix &k)
+{
+    Matrix s;
+    similarityInto(s, q, k);
+    return s;
+}
+
+void
+SoftmaxAttention::attentionMapInto(Matrix &dst, const Matrix &q,
+                                   const Matrix &k)
+{
+    similarityInto(dst, q, k);
+    softmaxRowsInto(dst, dst);
 }
 
 Matrix
 SoftmaxAttention::attentionMap(const Matrix &q, const Matrix &k)
 {
-    return softmaxRows(similarity(q, k));
+    Matrix s;
+    attentionMapInto(s, q, k);
+    return s;
 }
 
 Matrix
@@ -30,6 +50,20 @@ SoftmaxAttention::forward(const Matrix &q, const Matrix &k,
     if (k.rows() != v.rows())
         throw std::invalid_argument("forward: K/V token mismatch");
     return matmul(attentionMap(q, k), v);
+}
+
+void
+SoftmaxAttention::forwardInto(AttentionContext &ctx, const Matrix &q,
+                              const Matrix &k, const Matrix &v,
+                              Matrix &out) const
+{
+    if (k.rows() != v.rows())
+        throw std::invalid_argument("forward: K/V token mismatch");
+    Workspace &ws = ctx.workspace();
+    Workspace::Frame frame(ws);
+    Matrix &s = ws.acquire(q.rows(), k.rows());
+    attentionMapInto(s, q, k);
+    matmulInto(out, s, v);
 }
 
 OpCounts

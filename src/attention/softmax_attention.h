@@ -23,6 +23,10 @@ class SoftmaxAttention : public AttentionKernel
     Matrix forward(const Matrix &q, const Matrix &k,
                    const Matrix &v) const override;
 
+    void forwardInto(AttentionContext &ctx, const Matrix &q,
+                     const Matrix &k, const Matrix &v,
+                     Matrix &out) const override;
+
     /**
      * Per-head counts per the paper's Eq. (1)-(3) numerators:
      * mul = 2 n^2 d (QK^T and SV), add = 2 n^2 d + n^2 (accumulations plus
@@ -35,8 +39,16 @@ class SoftmaxAttention : public AttentionKernel
     /** The similarity matrix Q K^T / sqrt(d) before softmax, n x n. */
     static Matrix similarity(const Matrix &q, const Matrix &k);
 
+    /** Allocation-free similarity. */
+    static void similarityInto(Matrix &dst, const Matrix &q,
+                               const Matrix &k);
+
     /** The softmax attention map S = softmax(similarity), n x n. */
     static Matrix attentionMap(const Matrix &q, const Matrix &k);
+
+    /** Allocation-free attentionMap. */
+    static void attentionMapInto(Matrix &dst, const Matrix &q,
+                                 const Matrix &k);
 };
 
 } // namespace vitality

@@ -75,19 +75,87 @@ TaylorAttention::forwardDetailed(const Matrix &q, const Matrix &k,
     return im;
 }
 
-Matrix
-TaylorAttention::weakAttentionMap(const Matrix &q, const Matrix &khat)
+void
+TaylorAttention::forwardInto(AttentionContext &ctx, const Matrix &q,
+                             const Matrix &k, const Matrix &v,
+                             Matrix &out) const
+{
+    if (q.cols() != k.cols())
+        throw std::invalid_argument("taylor: Q/K dim mismatch");
+    if (k.rows() != v.rows())
+        throw std::invalid_argument("taylor: K/V token mismatch");
+
+    const size_t n = q.rows();
+    const size_t d = q.cols();
+    const float sqrt_d = std::sqrt(static_cast<float>(d));
+
+    Workspace &ws = ctx.workspace();
+    Workspace::Frame frame(ws);
+
+    // Step 1: mean-centering keys (khat references k itself when the
+    // ablation skips centering, avoiding the copy).
+    const Matrix *khat = &k;
+    if (meanCenter_) {
+        Matrix &kbar = ws.acquire(1, k.cols());
+        colMeanInto(kbar, k);
+        Matrix &centered = ws.acquire(k.rows(), k.cols());
+        broadcastSubRowInto(centered, k, kbar);
+        khat = &centered;
+    }
+
+    // Step 2: global context matrix G = Khat^T V, d x d.
+    Matrix &g = ws.acquire(d, v.cols());
+    matmulATInto(g, *khat, v);
+
+    // Step 3: column sums of centered keys and of values.
+    Matrix &ksum = ws.acquire(1, d);
+    colSumInto(ksum, *khat);
+    Matrix &vsum = ws.acquire(1, v.cols());
+    colSumInto(vsum, v);
+
+    // Step 4: Taylor denominator t_D = n sqrt(d) 1_n + Q ksum^T, n x 1.
+    Matrix &td = ws.acquire(n, 1);
+    matmulBTInto(td, q, ksum);
+    addScalarInto(td, td, static_cast<float>(n) * sqrt_d);
+
+    // Step 5: Taylor numerator T_N = sqrt(d) (1_n vsum) + Q G, n x d.
+    matmulInto(out, q, g);
+    scaleInto(vsum, vsum, sqrt_d);
+    broadcastAddRowInto(out, out, vsum);
+
+    // Step 6: Z = diag^-1(t_D) T_N.
+    divRowsInto(out, out, td);
+}
+
+void
+TaylorAttention::weakAttentionMapInto(Matrix &dst, const Matrix &q,
+                                      const Matrix &khat, Workspace &ws)
 {
     const size_t n = q.rows();
     const size_t d = q.cols();
     const float sqrt_d = std::sqrt(static_cast<float>(d));
 
+    Workspace::Frame frame(ws);
+
     // Numerator: sqrt(d) 1 1^T + Q Khat^T, n x n.
-    Matrix numer = addScalar(matmulBT(q, khat), sqrt_d);
+    matmulBTInto(dst, q, khat);
+    addScalarInto(dst, dst, sqrt_d);
     // Denominator: n sqrt(d) 1 + Q khat_sum^T, n x 1.
-    Matrix denom = addScalar(matmulBT(q, colSum(khat)),
-                             static_cast<float>(n) * sqrt_d);
-    return divRows(numer, denom);
+    Matrix &ksum = ws.acquire(1, d);
+    colSumInto(ksum, khat);
+    Matrix &denom = ws.acquire(n, 1);
+    matmulBTInto(denom, q, ksum);
+    addScalarInto(denom, denom, static_cast<float>(n) * sqrt_d);
+    divRowsInto(dst, dst, denom);
+}
+
+Matrix
+TaylorAttention::weakAttentionMap(const Matrix &q, const Matrix &khat)
+{
+    Workspace ws;
+    Matrix out;
+    weakAttentionMapInto(out, q, khat, ws);
+    return out;
 }
 
 OpCounts

@@ -47,6 +47,11 @@ class TaylorAttention : public AttentionKernel
     Matrix forward(const Matrix &q, const Matrix &k,
                    const Matrix &v) const override;
 
+    /** Algorithm 1 with every intermediate drawn from ctx's workspace. */
+    void forwardInto(AttentionContext &ctx, const Matrix &q,
+                     const Matrix &k, const Matrix &v,
+                     Matrix &out) const override;
+
     /**
      * Per-head counts matching the paper's Eq. (1)-(3) denominators:
      * mul = 2 n d^2 + n d, add = 2 n d^2 + 7 n d, div = n d + d, exp = 0.
@@ -81,6 +86,10 @@ class TaylorAttention : public AttentionKernel
      * Quadratic; used only for training/analysis, never for inference.
      */
     static Matrix weakAttentionMap(const Matrix &q, const Matrix &khat);
+
+    /** Allocation-free weakAttentionMap with scratch from ws. */
+    static void weakAttentionMapInto(Matrix &dst, const Matrix &q,
+                                     const Matrix &khat, Workspace &ws);
 
     bool meanCenter() const { return meanCenter_; }
 

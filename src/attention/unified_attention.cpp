@@ -48,6 +48,34 @@ SangerSparseAttention::forwardWithMask(const Matrix &q, const Matrix &k,
     return matmul(maskedSoftmaxRows(scores, mask), v);
 }
 
+void
+SangerSparseAttention::forwardInto(AttentionContext &ctx, const Matrix &q,
+                                   const Matrix &k, const Matrix &v,
+                                   Matrix &out) const
+{
+    if (q.cols() != k.cols() || k.rows() != v.rows())
+        throw std::invalid_argument("sanger sparse: shape mismatch");
+
+    Workspace &ws = ctx.workspace();
+    Workspace::Frame frame(ws);
+
+    // One predicted map serves both the threshold mask and the row rescue
+    // (the legacy path computes it twice).
+    Matrix &predicted = ws.acquire(q.rows(), k.rows());
+    predictor_.predictedMapInto(predicted, q, k, ws);
+    SparseMask &mask = ctx.mask();
+    mask.assignFromThreshold(predicted, predictor_.threshold());
+    for (size_t r = 0; r < mask.rows(); ++r) {
+        if (mask.rowNnz(r) == 0)
+            mask.set(r, argmaxRow(predicted, r), true);
+    }
+
+    Matrix &scores = ws.acquire(q.rows(), k.rows());
+    SoftmaxAttention::similarityInto(scores, q, k);
+    maskedSoftmaxRowsInto(scores, scores, mask);
+    matmulInto(out, scores, v);
+}
+
 OpCounts
 SangerSparseAttention::opCounts(size_t n, size_t d) const
 {
@@ -128,6 +156,45 @@ UnifiedAttention::forwardDetailed(const Matrix &q, const Matrix &k,
 
     out.z = matmul(add(out.weakMap, out.strongPart), v);
     return out;
+}
+
+void
+UnifiedAttention::forwardInto(AttentionContext &ctx, const Matrix &q,
+                              const Matrix &k, const Matrix &v,
+                              Matrix &out) const
+{
+    if (q.cols() != k.cols() || k.rows() != v.rows())
+        throw std::invalid_argument("unified: shape mismatch");
+
+    Workspace &ws = ctx.workspace();
+    Workspace::Frame frame(ws);
+
+    const Matrix *khat = &k;
+    if (meanCenter_) {
+        Matrix &kbar = ws.acquire(1, k.cols());
+        colMeanInto(kbar, k);
+        Matrix &centered = ws.acquire(k.rows(), k.cols());
+        broadcastSubRowInto(centered, k, kbar);
+        khat = &centered;
+    }
+
+    // Low-rank branch: the explicit weak Taylor map.
+    Matrix &weak = ws.acquire(q.rows(), k.rows());
+    TaylorAttention::weakAttentionMapInto(weak, q, *khat, ws);
+
+    // Full softmax map from the centered keys (Property 1).
+    Matrix &full = ws.acquire(q.rows(), k.rows());
+    SoftmaxAttention::attentionMapInto(full, q, *khat);
+
+    // Sparse branch: residual on predicted strong connections only, then
+    // S_train = T_weak + M .* (S_full - T_weak) folded in place.
+    SparseMask &mask = ctx.mask();
+    predictor_.predictInto(mask, q, *khat, ws);
+    subInto(full, full, weak);
+    applyMaskInto(full, full, mask);
+    addInto(full, weak, full);
+
+    matmulInto(out, full, v);
 }
 
 OpCounts

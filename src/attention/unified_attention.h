@@ -53,6 +53,10 @@ class SangerSparseAttention : public AttentionKernel
     Matrix forward(const Matrix &q, const Matrix &k,
                    const Matrix &v) const override;
 
+    void forwardInto(AttentionContext &ctx, const Matrix &q,
+                     const Matrix &k, const Matrix &v,
+                     Matrix &out) const override;
+
     /** Forward that also returns the mask actually used. */
     Matrix forwardWithMask(const Matrix &q, const Matrix &k,
                            const Matrix &v, SparseMask *mask_out) const;
@@ -89,6 +93,10 @@ class UnifiedAttention : public AttentionKernel
 
     Matrix forward(const Matrix &q, const Matrix &k,
                    const Matrix &v) const override;
+
+    void forwardInto(AttentionContext &ctx, const Matrix &q,
+                     const Matrix &k, const Matrix &v,
+                     Matrix &out) const override;
 
     /** Everything the training loop and the ablations need to observe. */
     struct Detailed

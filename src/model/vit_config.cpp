@@ -1,0 +1,48 @@
+#include "model/vit_config.h"
+
+#include <stdexcept>
+
+#include "base/logging.h"
+
+namespace vitality {
+
+VitConfig
+VitConfig::deitTiny()
+{
+    return {"DeiT-Tiny", 12, 3, 192, 197, 768};
+}
+
+VitConfig
+VitConfig::deitSmall()
+{
+    return {"DeiT-Small", 12, 6, 384, 197, 1536};
+}
+
+VitConfig
+VitConfig::deitBase()
+{
+    return {"DeiT-Base", 12, 12, 768, 197, 3072};
+}
+
+std::string
+VitConfig::summary() const
+{
+    return strfmt("%s: L=%zu H=%zu d=%zu n=%zu mlp=%zu", name.c_str(),
+                  layers, heads, dModel, tokens, mlpHidden);
+}
+
+void
+VitConfig::validate() const
+{
+    if (layers == 0 || heads == 0 || dModel == 0 || tokens == 0 ||
+        mlpHidden == 0) {
+        throw std::invalid_argument("VitConfig: zero dimension");
+    }
+    if (dModel % heads != 0) {
+        throw std::invalid_argument(
+            strfmt("VitConfig %s: dModel %zu not divisible by %zu heads",
+                   name.c_str(), dModel, heads));
+    }
+}
+
+} // namespace vitality

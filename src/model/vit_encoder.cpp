@@ -1,0 +1,162 @@
+#include "model/vit_encoder.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "base/logging.h"
+#include "base/rng.h"
+#include "tensor/ops.h"
+
+namespace vitality {
+
+namespace {
+
+// Tanh-approximation GELU, the variant ViT/DeiT checkpoints use.
+float
+gelu(float x)
+{
+    const float kSqrt2OverPi = 0.7978845608f;
+    const float inner = kSqrt2OverPi * (x + 0.044715f * x * x * x);
+    return 0.5f * x * (1.0f + std::tanh(inner));
+}
+
+} // namespace
+
+VitEncoder::VitEncoder(VitConfig config, AttentionKernelPtr kernel,
+                       uint64_t seed)
+    : cfg_(std::move(config)), mha_(std::move(kernel), cfg_.heads)
+{
+    cfg_.validate();
+
+    const size_t d = cfg_.dModel;
+    const size_t h = cfg_.mlpHidden;
+    // DeiT's trunc-normal(0.02) init, without the truncation (the tails
+    // are irrelevant to compute structure).
+    const float w_std = 0.02f;
+
+    Rng rng(seed);
+    layers_.reserve(cfg_.layers);
+    for (size_t l = 0; l < cfg_.layers; ++l) {
+        LayerWeights w;
+        w.ln1Gamma = Matrix::ones(1, d);
+        w.ln1Beta = Matrix::zeros(1, d);
+        w.wq = Matrix::randn(d, d, rng, 0.0f, w_std);
+        w.wk = Matrix::randn(d, d, rng, 0.0f, w_std);
+        w.wv = Matrix::randn(d, d, rng, 0.0f, w_std);
+        w.bq = Matrix::zeros(1, d);
+        w.bk = Matrix::zeros(1, d);
+        w.bv = Matrix::zeros(1, d);
+        w.wo = Matrix::randn(d, d, rng, 0.0f, w_std);
+        w.bo = Matrix::zeros(1, d);
+        w.ln2Gamma = Matrix::ones(1, d);
+        w.ln2Beta = Matrix::zeros(1, d);
+        w.w1 = Matrix::randn(d, h, rng, 0.0f, w_std);
+        w.b1 = Matrix::zeros(1, h);
+        w.w2 = Matrix::randn(h, d, rng, 0.0f, w_std);
+        w.b2 = Matrix::zeros(1, d);
+        layers_.push_back(std::move(w));
+    }
+}
+
+void
+VitEncoder::forwardInto(const Matrix &x_in, ThreadPool &pool, Matrix &out)
+{
+    if (x_in.rows() != cfg_.tokens || x_in.cols() != cfg_.dModel) {
+        throw std::invalid_argument(
+            strfmt("VitEncoder: input %s, expected [%zu x %zu]",
+                   x_in.shapeStr().c_str(), cfg_.tokens, cfg_.dModel));
+    }
+
+    const size_t n = cfg_.tokens;
+    const size_t d = cfg_.dModel;
+    const size_t h = cfg_.mlpHidden;
+
+    Workspace::Frame frame(ws_);
+    Matrix &x = ws_.acquire(n, d);
+    x.copyFrom(x_in);
+    Matrix &normed = ws_.acquire(n, d);
+    Matrix &q = ws_.acquire(n, d);
+    Matrix &k = ws_.acquire(n, d);
+    Matrix &v = ws_.acquire(n, d);
+    Matrix &attn = ws_.acquire(n, d);
+    Matrix &proj = ws_.acquire(n, d);
+    Matrix &hidden = ws_.acquire(n, h);
+
+    for (const LayerWeights &w : layers_) {
+        // Attention block: x += W_O MHA(LN1(x)).
+        layerNormRowsInto(normed, x, w.ln1Gamma, w.ln1Beta);
+        matmulInto(q, normed, w.wq);
+        broadcastAddRowInto(q, q, w.bq);
+        matmulInto(k, normed, w.wk);
+        broadcastAddRowInto(k, k, w.bk);
+        matmulInto(v, normed, w.wv);
+        broadcastAddRowInto(v, v, w.bv);
+        mha_.forwardInto(pool, q, k, v, attn);
+        matmulInto(proj, attn, w.wo);
+        broadcastAddRowInto(proj, proj, w.bo);
+        addInto(x, x, proj);
+
+        // MLP block: x += W_2 GELU(W_1 LN2(x)).
+        layerNormRowsInto(normed, x, w.ln2Gamma, w.ln2Beta);
+        matmulInto(hidden, normed, w.w1);
+        broadcastAddRowInto(hidden, hidden, w.b1);
+        // Direct loop rather than mapElemInto: the std::function
+        // indirection costs an un-inlinable call per element on the
+        // model's largest activation matrix.
+        for (size_t i = 0; i < hidden.size(); ++i)
+            hidden.data()[i] = gelu(hidden.data()[i]);
+        matmulInto(proj, hidden, w.w2);
+        broadcastAddRowInto(proj, proj, w.b2);
+        addInto(x, x, proj);
+    }
+
+    out.copyFrom(x);
+}
+
+Matrix
+VitEncoder::forward(const Matrix &x, ThreadPool &pool)
+{
+    Matrix out;
+    forwardInto(x, pool, out);
+    return out;
+}
+
+OpCounts
+VitEncoder::attentionOpCounts() const
+{
+    return mha_.opCounts(cfg_.tokens, cfg_.dModel) * cfg_.layers;
+}
+
+OpCounts
+VitEncoder::denseOpCounts() const
+{
+    const uint64_t n = cfg_.tokens;
+    const uint64_t d = cfg_.dModel;
+    const uint64_t h = cfg_.mlpHidden;
+
+    OpCounts c;
+    // QKV + output projections: 4 GEMMs of n x d by d x d, plus biases.
+    c.mul = 4ULL * n * d * d;
+    c.add = 4ULL * n * d * d + 4ULL * n * d;
+    // MLP: n x d by d x h and n x h by h x d, plus biases.
+    c.mul += 2ULL * n * d * h;
+    c.add += 2ULL * n * d * h + n * h + n * d;
+    // Two layer norms: mean + variance accumulations (2 n d adds each),
+    // a scale and a shift per element, one divide per element.
+    c.add += 2ULL * (2ULL * n * d + n * d);
+    c.mul += 2ULL * (2ULL * n * d);
+    c.div += 2ULL * n * d;
+    // GELU on the hidden activations: one transcendental per element.
+    c.exp += n * h;
+    // Residual adds.
+    c.add += 2ULL * n * d;
+    return c * cfg_.layers;
+}
+
+OpCounts
+VitEncoder::opCounts() const
+{
+    return attentionOpCounts() + denseOpCounts();
+}
+
+} // namespace vitality

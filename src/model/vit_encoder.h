@@ -1,0 +1,108 @@
+/**
+ * @file
+ * End-to-end ViT encoder stack over the attention zoo.
+ *
+ * Runs the standard pre-norm transformer encoder the DeiT family uses:
+ *
+ *   for each layer:  x = x + W_O MHA(LN1(x))        (attention block)
+ *                    x = x + W_2 GELU(W_1 LN2(x))   (MLP block)
+ *
+ * with the multi-head attention dispatched through the runtime layer, so
+ * any kernel in the zoo (softmax baseline, ViTALiTy Taylor, Sanger
+ * sparse, unified, ...) can be swapped in end-to-end. Weights are
+ * randomly initialized (the repo reproduces the paper's compute and
+ * accuracy *structure*, not trained checkpoints); everything is seeded,
+ * so runs are bit-reproducible.
+ *
+ * The op-count rollup reproduces the paper's model-level GFLOPs
+ * accounting: the attention contribution is exactly the kernel's
+ * per-head opCounts(n, d_h) scaled by heads x layers, and the dense
+ * contribution adds the QKV/output projections and the MLP.
+ */
+
+#ifndef VITALITY_MODEL_VIT_ENCODER_H
+#define VITALITY_MODEL_VIT_ENCODER_H
+
+#include <cstdint>
+#include <vector>
+
+#include "attention/attention.h"
+#include "model/vit_config.h"
+#include "runtime/multi_head_attention.h"
+#include "runtime/thread_pool.h"
+#include "tensor/workspace.h"
+
+namespace vitality {
+
+class Rng;
+
+/** A stack of pre-norm transformer encoder layers. */
+class VitEncoder
+{
+  public:
+    /** Weights of one encoder layer. */
+    struct LayerWeights
+    {
+        Matrix ln1Gamma, ln1Beta; ///< Pre-attention layer norm, 1 x d.
+        Matrix wq, wk, wv;        ///< QKV projections, d x d.
+        Matrix bq, bk, bv;        ///< QKV biases, 1 x d.
+        Matrix wo, bo;            ///< Output projection d x d, bias 1 x d.
+        Matrix ln2Gamma, ln2Beta; ///< Pre-MLP layer norm, 1 x d.
+        Matrix w1, b1;            ///< MLP up-projection d x h, 1 x h.
+        Matrix w2, b2;            ///< MLP down-projection h x d, 1 x d.
+    };
+
+    /**
+     * @param config Architecture preset; validated.
+     * @param kernel Attention kernel shared by every head and layer.
+     * @param seed Weight-initialization seed.
+     */
+    VitEncoder(VitConfig config, AttentionKernelPtr kernel,
+               uint64_t seed = 0x5eedULL);
+
+    const VitConfig &config() const { return cfg_; }
+    const AttentionKernel &kernel() const { return mha_.kernel(); }
+    const LayerWeights &layer(size_t i) const { return layers_[i]; }
+
+    /**
+     * Run the full encoder stack.
+     *
+     * @param x Token embeddings, tokens x dModel.
+     * @param pool Pool the per-layer attention heads fan out across.
+     * @param out Resized to tokens x dModel. All tensor storage
+     * (activations, attention scratch) is recycled after the first
+     * call; only the per-layer head dispatch still makes a few small
+     * control-block allocations (task closures, loop state).
+     */
+    void forwardInto(const Matrix &x, ThreadPool &pool, Matrix &out);
+
+    Matrix forward(const Matrix &x, ThreadPool &pool);
+
+    /**
+     * Attention-only rollup: kernel per-head opCounts(tokens, headDim)
+     * x heads x layers — the quantity the paper's Eq. (1)-(3) and
+     * Table IV state per model.
+     */
+    OpCounts attentionOpCounts() const;
+
+    /**
+     * Dense (non-attention) rollup per the usual ViT accounting: QKV and
+     * output projections (4 n d^2 MACs) plus the MLP (2 n d h MACs) per
+     * layer, with bias adds; layer norms and GELU are counted as adds/
+     * divs/exps respectively.
+     */
+    OpCounts denseOpCounts() const;
+
+    /** attentionOpCounts() + denseOpCounts(). */
+    OpCounts opCounts() const;
+
+  private:
+    VitConfig cfg_;
+    MultiHeadAttention mha_;
+    std::vector<LayerWeights> layers_;
+    Workspace ws_;
+};
+
+} // namespace vitality
+
+#endif // VITALITY_MODEL_VIT_ENCODER_H

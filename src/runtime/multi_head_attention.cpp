@@ -1,0 +1,129 @@
+#include "runtime/multi_head_attention.h"
+
+#include <stdexcept>
+
+#include "base/logging.h"
+
+namespace vitality {
+
+MultiHeadAttention::MultiHeadAttention(AttentionKernelPtr kernel,
+                                       size_t heads)
+    : kernel_(std::move(kernel)), heads_(heads)
+{
+    if (!kernel_)
+        throw std::invalid_argument("MultiHeadAttention: null kernel");
+    if (heads_ == 0)
+        throw std::invalid_argument("MultiHeadAttention: zero heads");
+}
+
+void
+MultiHeadAttention::checkShapes(const Matrix &q, const Matrix &k,
+                                const Matrix &v) const
+{
+    if (q.cols() != k.cols() || k.cols() != v.cols() ||
+        k.rows() != v.rows()) {
+        throw std::invalid_argument(
+            strfmt("multi-head: packed shape mismatch Q=%s K=%s V=%s",
+                   q.shapeStr().c_str(), k.shapeStr().c_str(),
+                   v.shapeStr().c_str()));
+    }
+    if (q.cols() % heads_ != 0) {
+        throw std::invalid_argument(
+            strfmt("multi-head: %zu columns not divisible by %zu heads",
+                   q.cols(), heads_));
+    }
+}
+
+void
+MultiHeadAttention::runHead(AttentionContext &ctx, size_t head,
+                            const Matrix &q, const Matrix &k,
+                            const Matrix &v, Matrix &out)
+{
+    const size_t dh = q.cols() / heads_;
+    const size_t c0 = head * dh;
+
+    Workspace &ws = ctx.workspace();
+    Workspace::Frame frame(ws);
+
+    // Gather the head's column slice into contiguous per-head operands.
+    auto slice = [&](const Matrix &src) -> Matrix & {
+        Matrix &dst = ws.acquire(src.rows(), dh);
+        for (size_t r = 0; r < src.rows(); ++r) {
+            const float *in = src.rowPtr(r) + c0;
+            float *o = dst.rowPtr(r);
+            for (size_t c = 0; c < dh; ++c)
+                o[c] = in[c];
+        }
+        return dst;
+    };
+    Matrix &qh = slice(q);
+    Matrix &kh = slice(k);
+    Matrix &vh = slice(v);
+    Matrix &oh = ws.acquire(q.rows(), dh);
+
+    kernel_->forwardInto(ctx, qh, kh, vh, oh);
+
+    // Scatter back into the packed output; heads own disjoint column
+    // ranges, so concurrent writers never touch the same floats.
+    for (size_t r = 0; r < out.rows(); ++r) {
+        const float *in = oh.rowPtr(r);
+        float *o = out.rowPtr(r) + c0;
+        for (size_t c = 0; c < dh; ++c)
+            o[c] = in[c];
+    }
+}
+
+void
+MultiHeadAttention::forwardInto(ThreadPool &pool, const Matrix &q,
+                                const Matrix &k, const Matrix &v,
+                                Matrix &out)
+{
+    checkShapes(q, k, v);
+    while (contexts_.size() < pool.size())
+        contexts_.emplace_back(std::make_unique<AttentionContext>());
+
+    out.resize(q.rows(), q.cols());
+    pool.parallelFor(0, heads_, [&](size_t head, size_t worker) {
+        runHead(*contexts_[worker], head, q, k, v, out);
+    });
+}
+
+Matrix
+MultiHeadAttention::forward(ThreadPool &pool, const Matrix &q,
+                            const Matrix &k, const Matrix &v)
+{
+    Matrix out;
+    forwardInto(pool, q, k, v, out);
+    return out;
+}
+
+void
+MultiHeadAttention::forwardSequentialInto(const Matrix &q, const Matrix &k,
+                                          const Matrix &v, Matrix &out)
+{
+    checkShapes(q, k, v);
+    out.resize(q.rows(), q.cols());
+    for (size_t head = 0; head < heads_; ++head)
+        runHead(seqContext_, head, q, k, v, out);
+}
+
+Matrix
+MultiHeadAttention::forwardSequential(const Matrix &q, const Matrix &k,
+                                      const Matrix &v)
+{
+    Matrix out;
+    forwardSequentialInto(q, k, v, out);
+    return out;
+}
+
+OpCounts
+MultiHeadAttention::opCounts(size_t n, size_t d_model) const
+{
+    if (d_model % heads_ != 0) {
+        throw std::invalid_argument(
+            "multi-head opCounts: d_model not divisible by heads");
+    }
+    return kernel_->opCounts(n, d_model / heads_) * heads_;
+}
+
+} // namespace vitality

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Multi-head dispatch over any attention kernel.
+ *
+ * The paper states all of its model-level numbers for H heads x L layers
+ * of DeiT/ViT; the kernels themselves are single-head. MultiHeadAttention
+ * closes that gap: it slices packed n x (H * d_h) query/key/value
+ * matrices into per-head views, fans the heads out across a ThreadPool
+ * (each worker running the kernel's allocation-free forwardInto through
+ * its own AttentionContext), and writes the per-head outputs back into
+ * the packed n x (H * d_h) result — the concatenation step of standard
+ * multi-head attention. The output projection W_O lives in the model
+ * layer, matching where the paper draws the attention-vs-linear boundary.
+ *
+ * Thread safety: one MultiHeadAttention instance owns per-worker
+ * contexts, so concurrent forward() calls on the same instance are not
+ * allowed; concurrent calls on different instances are fine.
+ */
+
+#ifndef VITALITY_RUNTIME_MULTI_HEAD_ATTENTION_H
+#define VITALITY_RUNTIME_MULTI_HEAD_ATTENTION_H
+
+#include <memory>
+#include <vector>
+
+#include "attention/attention.h"
+#include "runtime/thread_pool.h"
+
+namespace vitality {
+
+/** Fans H heads of an attention kernel across a thread pool. */
+class MultiHeadAttention
+{
+  public:
+    /**
+     * @param kernel Per-head kernel, shared across heads (kernels are
+     * stateless with respect to the input).
+     * @param heads Head count H; packed inputs carry H * d_h columns.
+     */
+    MultiHeadAttention(AttentionKernelPtr kernel, size_t heads);
+
+    size_t heads() const { return heads_; }
+    const AttentionKernel &kernel() const { return *kernel_; }
+
+    /**
+     * Parallel forward over packed inputs.
+     *
+     * @param pool Pool to fan heads across.
+     * @param q,k,v Packed matrices, n x (heads * d_h).
+     * @param out Packed result, resized to n x (heads * d_h).
+     */
+    void forwardInto(ThreadPool &pool, const Matrix &q, const Matrix &k,
+                     const Matrix &v, Matrix &out);
+
+    Matrix forward(ThreadPool &pool, const Matrix &q, const Matrix &k,
+                   const Matrix &v);
+
+    /**
+     * Reference path: identical computation, one head at a time on the
+     * calling thread. Bitwise-identical to the pooled path (each head is
+     * an independent float program; only the interleaving differs).
+     */
+    void forwardSequentialInto(const Matrix &q, const Matrix &k,
+                               const Matrix &v, Matrix &out);
+
+    Matrix forwardSequential(const Matrix &q, const Matrix &k,
+                             const Matrix &v);
+
+    /**
+     * Aggregate op counts for one multi-head invocation: the kernel's
+     * per-head opCounts(n, d_model / heads) scaled by heads.
+     */
+    OpCounts opCounts(size_t n, size_t d_model) const;
+
+  private:
+    void checkShapes(const Matrix &q, const Matrix &k,
+                     const Matrix &v) const;
+    /** Run one head through ctx and write its output slice into out. */
+    void runHead(AttentionContext &ctx, size_t head, const Matrix &q,
+                 const Matrix &k, const Matrix &v, Matrix &out);
+
+    AttentionKernelPtr kernel_;
+    size_t heads_;
+    /** One context per pool worker, grown on demand. */
+    std::vector<std::unique_ptr<AttentionContext>> contexts_;
+    /** Context for the sequential reference path. */
+    AttentionContext seqContext_;
+};
+
+} // namespace vitality
+
+#endif // VITALITY_RUNTIME_MULTI_HEAD_ATTENTION_H

@@ -1,0 +1,112 @@
+#include "runtime/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <memory>
+
+namespace vitality {
+
+ThreadPool::ThreadPool(size_t num_threads)
+{
+    if (num_threads == 0) {
+        num_threads = std::max(1u, std::thread::hardware_concurrency());
+    }
+    workers_.reserve(num_threads);
+    for (size_t w = 0; w < num_threads; ++w)
+        workers_.emplace_back([this, w] { workerLoop(w); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    cv_.notify_all();
+    for (auto &t : workers_)
+        t.join();
+}
+
+void
+ThreadPool::submit(std::function<void(size_t)> task)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        queue_.push_back(std::move(task));
+    }
+    cv_.notify_one();
+}
+
+void
+ThreadPool::workerLoop(size_t worker)
+{
+    for (;;) {
+        std::function<void(size_t)> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+            if (queue_.empty())
+                return; // stopping_ and drained
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        task(worker);
+    }
+}
+
+void
+ThreadPool::parallelFor(size_t begin, size_t end,
+                        const std::function<void(size_t, size_t)> &body)
+{
+    if (begin >= end)
+        return;
+
+    // Shared loop state: a counter hands indices to whichever driver task
+    // is free, and the last driver to finish wakes the caller.
+    struct LoopState
+    {
+        std::atomic<size_t> next;
+        std::atomic<size_t> pendingDrivers;
+        std::exception_ptr error;
+        std::mutex mutex;
+        std::condition_variable done;
+    };
+    auto state = std::make_shared<LoopState>();
+    state->next.store(begin);
+
+    const size_t drivers = std::min(size(), end - begin);
+    state->pendingDrivers.store(drivers);
+
+    for (size_t d = 0; d < drivers; ++d) {
+        submit([state, end, &body](size_t worker) {
+            for (;;) {
+                const size_t i = state->next.fetch_add(1);
+                if (i >= end)
+                    break;
+                try {
+                    body(i, worker);
+                } catch (...) {
+                    std::lock_guard<std::mutex> lock(state->mutex);
+                    if (!state->error)
+                        state->error = std::current_exception();
+                    // Drain remaining indices so the loop still ends.
+                    state->next.store(end);
+                    break;
+                }
+            }
+            if (state->pendingDrivers.fetch_sub(1) == 1) {
+                std::lock_guard<std::mutex> lock(state->mutex);
+                state->done.notify_all();
+            }
+        });
+    }
+
+    std::unique_lock<std::mutex> lock(state->mutex);
+    state->done.wait(lock,
+                     [&] { return state->pendingDrivers.load() == 0; });
+    if (state->error)
+        std::rethrow_exception(state->error);
+}
+
+} // namespace vitality

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * A fixed-size worker-thread pool.
+ *
+ * Deliberately simple — a mutex-guarded task queue, no work stealing —
+ * because the workloads it serves (one task per attention head, a handful
+ * of heads per layer) are coarse enough that queue contention is noise.
+ * What the rest of the runtime relies on is the dense worker numbering:
+ * every task body receives the index of the worker executing it, in
+ * [0, size()), which is how MultiHeadAttention hands each thread its own
+ * AttentionContext without locks or thread-local state.
+ */
+
+#ifndef VITALITY_RUNTIME_THREAD_POOL_H
+#define VITALITY_RUNTIME_THREAD_POOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace vitality {
+
+/** Fixed pool of worker threads with a shared FIFO task queue. */
+class ThreadPool
+{
+  public:
+    /**
+     * @param num_threads Worker count; 0 means hardware_concurrency()
+     * (at least 1).
+     */
+    explicit ThreadPool(size_t num_threads = 0);
+
+    /** Drains nothing: pending tasks are completed before joining. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Number of worker threads. */
+    size_t size() const { return workers_.size(); }
+
+    /**
+     * Enqueue a task; returns immediately. The task receives the index of
+     * the worker that runs it. There is no completion handle — use
+     * parallelFor() when the caller must wait.
+     */
+    void submit(std::function<void(size_t worker)> task);
+
+    /**
+     * Run body(index, worker) for every index in [begin, end) across the
+     * pool and block until all complete. Indices are handed out through a
+     * shared counter, so an expensive index does not stall the others.
+     * The first exception thrown by any body is rethrown on the calling
+     * thread after the loop drains.
+     *
+     * Must not be called from a pool worker (the caller blocks on the
+     * workers, so nesting would deadlock).
+     */
+    void parallelFor(size_t begin, size_t end,
+                     const std::function<void(size_t index, size_t worker)>
+                         &body);
+
+  private:
+    void workerLoop(size_t worker);
+
+    std::vector<std::thread> workers_;
+    std::deque<std::function<void(size_t)>> queue_;
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    bool stopping_ = false;
+};
+
+} // namespace vitality
+
+#endif // VITALITY_RUNTIME_THREAD_POOL_H

@@ -16,10 +16,23 @@ SparseMask
 SparseMask::fromThreshold(const Matrix &scores, float threshold)
 {
     SparseMask mask(scores.rows(), scores.cols());
-    for (size_t r = 0; r < scores.rows(); ++r)
-        for (size_t c = 0; c < scores.cols(); ++c)
-            mask.set(r, c, scores(r, c) >= threshold);
+    mask.assignFromThreshold(scores, threshold);
     return mask;
+}
+
+void
+SparseMask::assignFromThreshold(const Matrix &scores, float threshold)
+{
+    // Size without clearing: every bit is overwritten below.
+    rows_ = scores.rows();
+    cols_ = scores.cols();
+    bits_.resize(rows_ * cols_);
+    for (size_t r = 0; r < rows_; ++r) {
+        const float *row = scores.rowPtr(r);
+        uint8_t *bits = bits_.data() + r * cols_;
+        for (size_t c = 0; c < cols_; ++c)
+            bits[c] = row[c] >= threshold ? 1 : 0;
+    }
 }
 
 SparseMask
@@ -100,45 +113,71 @@ SparseMask::operator==(const SparseMask &other) const
            bits_ == other.bits_;
 }
 
-Matrix
-maskedSoftmaxRows(const Matrix &scores, const SparseMask &mask)
+void
+maskedSoftmaxRowsInto(Matrix &dst, const Matrix &scores,
+                      const SparseMask &mask)
 {
     if (scores.rows() != mask.rows() || scores.cols() != mask.cols())
         throw std::invalid_argument("maskedSoftmax: shape mismatch");
 
-    Matrix out(scores.rows(), scores.cols());
+    dst.resize(scores.rows(), scores.cols());
     for (size_t r = 0; r < scores.rows(); ++r) {
+        const float *in = scores.rowPtr(r);
+        float *out = dst.rowPtr(r);
         // Max over kept entries for numerical stability.
         float maxv = -INFINITY;
         for (size_t c = 0; c < scores.cols(); ++c) {
             if (mask.at(r, c))
-                maxv = std::max(maxv, scores(r, c));
+                maxv = std::max(maxv, in[c]);
         }
-        if (maxv == -INFINITY)
-            continue; // fully pruned row stays zero
+        if (maxv == -INFINITY) {
+            // Fully pruned row is all-zero.
+            for (size_t c = 0; c < scores.cols(); ++c)
+                out[c] = 0.0f;
+            continue;
+        }
         float denom = 0.0f;
         for (size_t c = 0; c < scores.cols(); ++c) {
             if (mask.at(r, c)) {
-                out(r, c) = std::exp(scores(r, c) - maxv);
-                denom += out(r, c);
+                out[c] = std::exp(in[c] - maxv);
+                denom += out[c];
+            } else {
+                out[c] = 0.0f;
             }
         }
         const float inv = 1.0f / denom;
         for (size_t c = 0; c < scores.cols(); ++c)
-            out(r, c) *= inv;
+            out[c] *= inv;
     }
+}
+
+Matrix
+maskedSoftmaxRows(const Matrix &scores, const SparseMask &mask)
+{
+    Matrix out;
+    maskedSoftmaxRowsInto(out, scores, mask);
     return out;
+}
+
+void
+applyMaskInto(Matrix &dst, const Matrix &values, const SparseMask &mask)
+{
+    if (values.rows() != mask.rows() || values.cols() != mask.cols())
+        throw std::invalid_argument("applyMask: shape mismatch");
+    dst.resize(values.rows(), values.cols());
+    for (size_t r = 0; r < values.rows(); ++r) {
+        const float *in = values.rowPtr(r);
+        float *out = dst.rowPtr(r);
+        for (size_t c = 0; c < values.cols(); ++c)
+            out[c] = mask.at(r, c) ? in[c] : 0.0f;
+    }
 }
 
 Matrix
 applyMask(const Matrix &values, const SparseMask &mask)
 {
-    if (values.rows() != mask.rows() || values.cols() != mask.cols())
-        throw std::invalid_argument("applyMask: shape mismatch");
-    Matrix out(values.rows(), values.cols());
-    for (size_t r = 0; r < values.rows(); ++r)
-        for (size_t c = 0; c < values.cols(); ++c)
-            out(r, c) = mask.at(r, c) ? values(r, c) : 0.0f;
+    Matrix out;
+    applyMaskInto(out, values, mask);
     return out;
 }
 

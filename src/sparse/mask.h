@@ -31,6 +31,13 @@ class SparseMask
     /** All-ones (dense) mask. */
     static SparseMask dense(size_t rows, size_t cols);
 
+    /**
+     * Resize (recycling the bit storage) and refill from a threshold
+     * over scores (>= keeps). Backs the cached mask inside
+     * AttentionContext so repeated sparse forwards never reallocate.
+     */
+    void assignFromThreshold(const Matrix &scores, float threshold);
+
     size_t rows() const { return rows_; }
     size_t cols() const { return cols_; }
 
@@ -70,8 +77,16 @@ class SparseMask
  */
 Matrix maskedSoftmaxRows(const Matrix &scores, const SparseMask &mask);
 
+/** Allocation-free maskedSoftmaxRows; dst may alias scores. */
+void maskedSoftmaxRowsInto(Matrix &dst, const Matrix &scores,
+                           const SparseMask &mask);
+
 /** Zero out pruned entries of a dense matrix. */
 Matrix applyMask(const Matrix &values, const SparseMask &mask);
+
+/** Allocation-free applyMask; dst may alias values. */
+void applyMaskInto(Matrix &dst, const Matrix &values,
+                   const SparseMask &mask);
 
 } // namespace vitality
 

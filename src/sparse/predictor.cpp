@@ -8,19 +8,30 @@
 
 namespace vitality {
 
-Matrix
-quantizeSymmetric(const Matrix &m, int bits)
+void
+quantizeSymmetricInto(Matrix &dst, const Matrix &m, int bits)
 {
     if (bits < 2 || bits > 16)
         throw std::invalid_argument("quantizeSymmetric: bits must be 2..16");
     const float max_mag = maxAbs(m);
-    if (max_mag == 0.0f)
-        return m;
+    if (max_mag == 0.0f) {
+        if (&dst != &m)
+            dst.copyFrom(m);
+        return;
+    }
     const float levels = static_cast<float>((1 << (bits - 1)) - 1);
     const float step = max_mag / levels;
-    return mapElem(m, [step](float x) {
+    mapElemInto(dst, m, [step](float x) {
         return std::round(x / step) * step;
     });
+}
+
+Matrix
+quantizeSymmetric(const Matrix &m, int bits)
+{
+    Matrix out;
+    quantizeSymmetricInto(out, m, bits);
+    return out;
 }
 
 SangerPredictor::SangerPredictor(float threshold, int bits)
@@ -42,6 +53,29 @@ SparseMask
 SangerPredictor::predict(const Matrix &q, const Matrix &k) const
 {
     return SparseMask::fromThreshold(predictedMap(q, k), threshold_);
+}
+
+void
+SangerPredictor::predictedMapInto(Matrix &dst, const Matrix &q,
+                                  const Matrix &k, Workspace &ws) const
+{
+    Workspace::Frame frame(ws);
+    Matrix &qq = ws.acquire(q.rows(), q.cols());
+    quantizeSymmetricInto(qq, q, bits_);
+    Matrix &qk = ws.acquire(k.rows(), k.cols());
+    quantizeSymmetricInto(qk, k, bits_);
+    SoftmaxAttention::similarityInto(dst, qq, qk);
+    softmaxRowsInto(dst, dst);
+}
+
+void
+SangerPredictor::predictInto(SparseMask &mask, const Matrix &q,
+                             const Matrix &k, Workspace &ws) const
+{
+    Workspace::Frame frame(ws);
+    Matrix &map = ws.acquire(q.rows(), k.rows());
+    predictedMapInto(map, q, k, ws);
+    mask.assignFromThreshold(map, threshold_);
 }
 
 } // namespace vitality

@@ -14,6 +14,7 @@
 
 #include "sparse/mask.h"
 #include "tensor/matrix.h"
+#include "tensor/workspace.h"
 
 namespace vitality {
 
@@ -24,6 +25,9 @@ namespace vitality {
  * low-precision prediction path of the Sanger front-end.
  */
 Matrix quantizeSymmetric(const Matrix &m, int bits);
+
+/** Allocation-free quantizeSymmetric; dst may alias m. */
+void quantizeSymmetricInto(Matrix &dst, const Matrix &m, int bits);
 
 /** Threshold-based sparsity predictor over quantized Q / K. */
 class SangerPredictor
@@ -45,6 +49,19 @@ class SangerPredictor
 
     /** The quantized predicted attention map itself (for tests/benches). */
     Matrix predictedMap(const Matrix &q, const Matrix &k) const;
+
+    /**
+     * Allocation-free prediction path: scratch comes from ws, the mask is
+     * resized in place. predictedMapInto writes the quantized map to dst
+     * (which must not be a matrix checked out of ws after this call's
+     * frame opens; a caller-held slot or plain Matrix is fine).
+     */
+    void predictedMapInto(Matrix &dst, const Matrix &q, const Matrix &k,
+                          Workspace &ws) const;
+
+    /** Allocation-free predict(): mask is recycled, scratch from ws. */
+    void predictInto(SparseMask &mask, const Matrix &q, const Matrix &k,
+                     Workspace &ws) const;
 
     float threshold() const { return threshold_; }
     int bits() const { return bits_; }

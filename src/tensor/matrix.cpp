@@ -193,6 +193,22 @@ Matrix::reshape(size_t rows, size_t cols)
 }
 
 void
+Matrix::resize(size_t rows, size_t cols)
+{
+    rows_ = rows;
+    cols_ = cols;
+    data_.resize(rows * cols);
+}
+
+void
+Matrix::copyFrom(const Matrix &other)
+{
+    rows_ = other.rows_;
+    cols_ = other.cols_;
+    data_.assign(other.data_.begin(), other.data_.end());
+}
+
+void
 Matrix::fill(float value)
 {
     for (auto &x : data_)

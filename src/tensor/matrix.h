@@ -104,6 +104,17 @@ class Matrix
     /** Reshape in place; total element count must be preserved. */
     void reshape(size_t rows, size_t cols);
 
+    /**
+     * Resize to rows x cols, reusing the existing storage when it is large
+     * enough (no reallocation on shrink or same-size reshape). Contents are
+     * unspecified afterwards; callers are expected to overwrite every
+     * entry. This is the primitive Workspace builds its recycling on.
+     */
+    void resize(size_t rows, size_t cols);
+
+    /** Resize to the shape of other and copy its contents. */
+    void copyFrom(const Matrix &other);
+
     /** Set every entry to value. */
     void fill(float value);
 

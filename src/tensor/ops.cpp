@@ -20,22 +20,58 @@ requireSameShape(const Matrix &a, const Matrix &b, const char *op)
     }
 }
 
+// Matrix always owns its storage, so two distinct objects never share
+// data: object identity is the only possible aliasing.
+void
+requireNoAlias(const Matrix &dst, const Matrix &a, const Matrix &b,
+               const char *op)
+{
+    if (&dst == &a || &dst == &b) {
+        throw std::invalid_argument(
+            strfmt("%s: dst must not alias an input", op));
+    }
+}
+
+void
+requireRowVector(const Matrix &a, const Matrix &v, const char *op)
+{
+    if (v.rows() != 1 || v.cols() != a.cols()) {
+        throw std::invalid_argument(
+            strfmt("%s: %s vs row vector %s", op, a.shapeStr().c_str(),
+                   v.shapeStr().c_str()));
+    }
+}
+
+void
+requireColVector(const Matrix &a, const Matrix &v, const char *op)
+{
+    if (v.cols() != 1 || v.rows() != a.rows()) {
+        throw std::invalid_argument(
+            strfmt("%s: %s vs col vector %s", op, a.shapeStr().c_str(),
+                   v.shapeStr().c_str()));
+    }
+}
+
 // Block size for the cache-tiled GEMM inner loops. 64 floats = 256 bytes
 // per row strip, keeping three blocks comfortably within L1.
 constexpr size_t kBlock = 64;
 
 } // namespace
 
-Matrix
-matmul(const Matrix &a, const Matrix &b)
+// --- matmul family ----------------------------------------------------------
+
+void
+matmulInto(Matrix &dst, const Matrix &a, const Matrix &b)
 {
     if (a.cols() != b.rows()) {
         throw std::invalid_argument(
             strfmt("matmul: inner dims differ, %s vs %s",
                    a.shapeStr().c_str(), b.shapeStr().c_str()));
     }
+    requireNoAlias(dst, a, b, "matmulInto");
     const size_t m = a.rows(), k = a.cols(), n = b.cols();
-    Matrix c(m, n);
+    dst.resize(m, n);
+    dst.fill(0.0f);
     // Blocked i-k-j order: the innermost loop streams contiguous rows of B
     // and C, which vectorizes well.
     for (size_t i0 = 0; i0 < m; i0 += kBlock) {
@@ -44,7 +80,7 @@ matmul(const Matrix &a, const Matrix &b)
             const size_t k1 = std::min(k0 + kBlock, k);
             for (size_t i = i0; i < i1; ++i) {
                 const float *arow = a.rowPtr(i);
-                float *crow = c.rowPtr(i);
+                float *crow = dst.rowPtr(i);
                 for (size_t kk = k0; kk < k1; ++kk) {
                     const float aik = arow[kk];
                     const float *brow = b.rowPtr(kk);
@@ -54,23 +90,31 @@ matmul(const Matrix &a, const Matrix &b)
             }
         }
     }
-    return c;
 }
 
 Matrix
-matmulBT(const Matrix &a, const Matrix &b)
+matmul(const Matrix &a, const Matrix &b)
+{
+    Matrix c;
+    matmulInto(c, a, b);
+    return c;
+}
+
+void
+matmulBTInto(Matrix &dst, const Matrix &a, const Matrix &b)
 {
     if (a.cols() != b.cols()) {
         throw std::invalid_argument(
             strfmt("matmulBT: inner dims differ, %s vs %s^T",
                    a.shapeStr().c_str(), b.shapeStr().c_str()));
     }
+    requireNoAlias(dst, a, b, "matmulBTInto");
     const size_t m = a.rows(), k = a.cols(), n = b.rows();
-    Matrix c(m, n);
+    dst.resize(m, n);
     // Row-by-row dot products: both operands stream contiguously.
     for (size_t i = 0; i < m; ++i) {
         const float *arow = a.rowPtr(i);
-        float *crow = c.rowPtr(i);
+        float *crow = dst.rowPtr(i);
         for (size_t j = 0; j < n; ++j) {
             const float *brow = b.rowPtr(j);
             float acc = 0.0f;
@@ -79,219 +123,383 @@ matmulBT(const Matrix &a, const Matrix &b)
             crow[j] = acc;
         }
     }
-    return c;
 }
 
 Matrix
-matmulAT(const Matrix &a, const Matrix &b)
+matmulBT(const Matrix &a, const Matrix &b)
+{
+    Matrix c;
+    matmulBTInto(c, a, b);
+    return c;
+}
+
+void
+matmulATInto(Matrix &dst, const Matrix &a, const Matrix &b)
 {
     if (a.rows() != b.rows()) {
         throw std::invalid_argument(
             strfmt("matmulAT: inner dims differ, %s^T vs %s",
                    a.shapeStr().c_str(), b.shapeStr().c_str()));
     }
+    requireNoAlias(dst, a, b, "matmulATInto");
     const size_t m = a.cols(), k = a.rows(), n = b.cols();
-    Matrix c(m, n);
+    dst.resize(m, n);
+    dst.fill(0.0f);
     // Accumulate rank-1 updates: for each shared row kk, C += a_kk^T b_kk.
     for (size_t kk = 0; kk < k; ++kk) {
         const float *arow = a.rowPtr(kk);
         const float *brow = b.rowPtr(kk);
         for (size_t i = 0; i < m; ++i) {
             const float aki = arow[i];
-            float *crow = c.rowPtr(i);
+            float *crow = dst.rowPtr(i);
             for (size_t j = 0; j < n; ++j)
                 crow[j] += aki * brow[j];
         }
     }
+}
+
+Matrix
+matmulAT(const Matrix &a, const Matrix &b)
+{
+    Matrix c;
+    matmulATInto(c, a, b);
     return c;
+}
+
+void
+transposeInto(Matrix &dst, const Matrix &a)
+{
+    if (&dst == &a)
+        throw std::invalid_argument("transposeInto: dst must not alias a");
+    dst.resize(a.cols(), a.rows());
+    for (size_t r = 0; r < a.rows(); ++r)
+        for (size_t c = 0; c < a.cols(); ++c)
+            dst(c, r) = a(r, c);
 }
 
 Matrix
 transpose(const Matrix &a)
 {
-    Matrix t(a.cols(), a.rows());
-    for (size_t r = 0; r < a.rows(); ++r)
-        for (size_t c = 0; c < a.cols(); ++c)
-            t(c, r) = a(r, c);
+    Matrix t;
+    transposeInto(t, a);
     return t;
+}
+
+// --- element-wise -----------------------------------------------------------
+
+void
+addInto(Matrix &dst, const Matrix &a, const Matrix &b)
+{
+    requireSameShape(a, b, "add");
+    dst.resize(a.rows(), a.cols());
+    for (size_t i = 0; i < a.size(); ++i)
+        dst.data()[i] = a.data()[i] + b.data()[i];
 }
 
 Matrix
 add(const Matrix &a, const Matrix &b)
 {
-    requireSameShape(a, b, "add");
-    Matrix c(a.rows(), a.cols());
-    for (size_t i = 0; i < a.size(); ++i)
-        c.data()[i] = a.data()[i] + b.data()[i];
+    Matrix c;
+    addInto(c, a, b);
     return c;
+}
+
+void
+subInto(Matrix &dst, const Matrix &a, const Matrix &b)
+{
+    requireSameShape(a, b, "sub");
+    dst.resize(a.rows(), a.cols());
+    for (size_t i = 0; i < a.size(); ++i)
+        dst.data()[i] = a.data()[i] - b.data()[i];
 }
 
 Matrix
 sub(const Matrix &a, const Matrix &b)
 {
-    requireSameShape(a, b, "sub");
-    Matrix c(a.rows(), a.cols());
-    for (size_t i = 0; i < a.size(); ++i)
-        c.data()[i] = a.data()[i] - b.data()[i];
+    Matrix c;
+    subInto(c, a, b);
     return c;
+}
+
+void
+hadamardInto(Matrix &dst, const Matrix &a, const Matrix &b)
+{
+    requireSameShape(a, b, "hadamard");
+    dst.resize(a.rows(), a.cols());
+    for (size_t i = 0; i < a.size(); ++i)
+        dst.data()[i] = a.data()[i] * b.data()[i];
 }
 
 Matrix
 hadamard(const Matrix &a, const Matrix &b)
 {
-    requireSameShape(a, b, "hadamard");
-    Matrix c(a.rows(), a.cols());
-    for (size_t i = 0; i < a.size(); ++i)
-        c.data()[i] = a.data()[i] * b.data()[i];
+    Matrix c;
+    hadamardInto(c, a, b);
     return c;
+}
+
+void
+divideInto(Matrix &dst, const Matrix &a, const Matrix &b)
+{
+    requireSameShape(a, b, "divide");
+    dst.resize(a.rows(), a.cols());
+    for (size_t i = 0; i < a.size(); ++i)
+        dst.data()[i] = a.data()[i] / b.data()[i];
 }
 
 Matrix
 divide(const Matrix &a, const Matrix &b)
 {
-    requireSameShape(a, b, "divide");
-    Matrix c(a.rows(), a.cols());
-    for (size_t i = 0; i < a.size(); ++i)
-        c.data()[i] = a.data()[i] / b.data()[i];
+    Matrix c;
+    divideInto(c, a, b);
     return c;
+}
+
+void
+scaleInto(Matrix &dst, const Matrix &a, float s)
+{
+    dst.resize(a.rows(), a.cols());
+    for (size_t i = 0; i < a.size(); ++i)
+        dst.data()[i] = a.data()[i] * s;
 }
 
 Matrix
 scale(const Matrix &a, float s)
 {
-    Matrix c(a.rows(), a.cols());
-    for (size_t i = 0; i < a.size(); ++i)
-        c.data()[i] = a.data()[i] * s;
+    Matrix c;
+    scaleInto(c, a, s);
     return c;
+}
+
+void
+addScalarInto(Matrix &dst, const Matrix &a, float s)
+{
+    dst.resize(a.rows(), a.cols());
+    for (size_t i = 0; i < a.size(); ++i)
+        dst.data()[i] = a.data()[i] + s;
 }
 
 Matrix
 addScalar(const Matrix &a, float s)
 {
-    Matrix c(a.rows(), a.cols());
-    for (size_t i = 0; i < a.size(); ++i)
-        c.data()[i] = a.data()[i] + s;
+    Matrix c;
+    addScalarInto(c, a, s);
     return c;
 }
 
-Matrix
-rowSum(const Matrix &a)
+// --- reductions -------------------------------------------------------------
+
+void
+rowSumInto(Matrix &dst, const Matrix &a)
 {
-    Matrix s(a.rows(), 1);
+    if (&dst == &a)
+        throw std::invalid_argument("rowSumInto: dst must not alias a");
+    dst.resize(a.rows(), 1);
     for (size_t r = 0; r < a.rows(); ++r) {
         float acc = 0.0f;
         const float *row = a.rowPtr(r);
         for (size_t c = 0; c < a.cols(); ++c)
             acc += row[c];
-        s(r, 0) = acc;
+        dst(r, 0) = acc;
     }
+}
+
+Matrix
+rowSum(const Matrix &a)
+{
+    Matrix s;
+    rowSumInto(s, a);
     return s;
+}
+
+void
+colSumInto(Matrix &dst, const Matrix &a)
+{
+    if (&dst == &a)
+        throw std::invalid_argument("colSumInto: dst must not alias a");
+    dst.resize(1, a.cols());
+    dst.fill(0.0f);
+    float *srow = dst.rowPtr(0);
+    for (size_t r = 0; r < a.rows(); ++r) {
+        const float *row = a.rowPtr(r);
+        for (size_t c = 0; c < a.cols(); ++c)
+            srow[c] += row[c];
+    }
 }
 
 Matrix
 colSum(const Matrix &a)
 {
-    Matrix s(1, a.cols());
-    for (size_t r = 0; r < a.rows(); ++r) {
-        const float *row = a.rowPtr(r);
-        float *srow = s.rowPtr(0);
-        for (size_t c = 0; c < a.cols(); ++c)
-            srow[c] += row[c];
-    }
+    Matrix s;
+    colSumInto(s, a);
     return s;
+}
+
+void
+rowMeanInto(Matrix &dst, const Matrix &a)
+{
+    if (a.cols() == 0)
+        throw std::invalid_argument("rowMean: zero columns");
+    rowSumInto(dst, a);
+    scaleInto(dst, dst, 1.0f / static_cast<float>(a.cols()));
 }
 
 Matrix
 rowMean(const Matrix &a)
 {
-    if (a.cols() == 0)
-        throw std::invalid_argument("rowMean: zero columns");
-    return scale(rowSum(a), 1.0f / static_cast<float>(a.cols()));
+    Matrix m;
+    rowMeanInto(m, a);
+    return m;
+}
+
+void
+colMeanInto(Matrix &dst, const Matrix &a)
+{
+    if (a.rows() == 0)
+        throw std::invalid_argument("colMean: zero rows");
+    colSumInto(dst, a);
+    scaleInto(dst, dst, 1.0f / static_cast<float>(a.rows()));
 }
 
 Matrix
 colMean(const Matrix &a)
 {
-    if (a.rows() == 0)
-        throw std::invalid_argument("colMean: zero rows");
-    return scale(colSum(a), 1.0f / static_cast<float>(a.rows()));
+    Matrix m;
+    colMeanInto(m, a);
+    return m;
+}
+
+// --- broadcasts -------------------------------------------------------------
+
+void
+broadcastAddRowInto(Matrix &dst, const Matrix &a, const Matrix &v)
+{
+    requireRowVector(a, v, "broadcastAddRow");
+    if (&dst == &v)
+        throw std::invalid_argument("broadcastAddRowInto: dst aliases v");
+    dst.resize(a.rows(), a.cols());
+    const float *vrow = v.rowPtr(0);
+    for (size_t r = 0; r < a.rows(); ++r) {
+        const float *arow = a.rowPtr(r);
+        float *drow = dst.rowPtr(r);
+        for (size_t c = 0; c < a.cols(); ++c)
+            drow[c] = arow[c] + vrow[c];
+    }
 }
 
 Matrix
 broadcastAddRow(const Matrix &a, const Matrix &v)
 {
-    if (v.rows() != 1 || v.cols() != a.cols()) {
-        throw std::invalid_argument(
-            strfmt("broadcastAddRow: %s vs row vector %s",
-                   a.shapeStr().c_str(), v.shapeStr().c_str()));
-    }
-    Matrix c(a.rows(), a.cols());
-    for (size_t r = 0; r < a.rows(); ++r)
-        for (size_t col = 0; col < a.cols(); ++col)
-            c(r, col) = a(r, col) + v(0, col);
+    Matrix c;
+    broadcastAddRowInto(c, a, v);
     return c;
+}
+
+void
+broadcastSubRowInto(Matrix &dst, const Matrix &a, const Matrix &v)
+{
+    requireRowVector(a, v, "broadcastSubRow");
+    if (&dst == &v)
+        throw std::invalid_argument("broadcastSubRowInto: dst aliases v");
+    dst.resize(a.rows(), a.cols());
+    const float *vrow = v.rowPtr(0);
+    for (size_t r = 0; r < a.rows(); ++r) {
+        const float *arow = a.rowPtr(r);
+        float *drow = dst.rowPtr(r);
+        for (size_t c = 0; c < a.cols(); ++c)
+            drow[c] = arow[c] - vrow[c];
+    }
 }
 
 Matrix
 broadcastSubRow(const Matrix &a, const Matrix &v)
 {
-    return broadcastAddRow(a, scale(v, -1.0f));
+    Matrix c;
+    broadcastSubRowInto(c, a, v);
+    return c;
+}
+
+void
+broadcastAddColInto(Matrix &dst, const Matrix &a, const Matrix &v)
+{
+    requireColVector(a, v, "broadcastAddCol");
+    if (&dst == &v)
+        throw std::invalid_argument("broadcastAddColInto: dst aliases v");
+    dst.resize(a.rows(), a.cols());
+    for (size_t r = 0; r < a.rows(); ++r) {
+        const float add_r = v(r, 0);
+        const float *arow = a.rowPtr(r);
+        float *drow = dst.rowPtr(r);
+        for (size_t c = 0; c < a.cols(); ++c)
+            drow[c] = arow[c] + add_r;
+    }
 }
 
 Matrix
 broadcastAddCol(const Matrix &a, const Matrix &v)
 {
-    if (v.cols() != 1 || v.rows() != a.rows()) {
-        throw std::invalid_argument(
-            strfmt("broadcastAddCol: %s vs col vector %s",
-                   a.shapeStr().c_str(), v.shapeStr().c_str()));
-    }
-    Matrix c(a.rows(), a.cols());
-    for (size_t r = 0; r < a.rows(); ++r)
-        for (size_t col = 0; col < a.cols(); ++col)
-            c(r, col) = a(r, col) + v(r, 0);
+    Matrix c;
+    broadcastAddColInto(c, a, v);
     return c;
+}
+
+void
+scaleRowsInto(Matrix &dst, const Matrix &a, const Matrix &v)
+{
+    requireColVector(a, v, "scaleRows");
+    if (&dst == &v)
+        throw std::invalid_argument("scaleRowsInto: dst aliases v");
+    dst.resize(a.rows(), a.cols());
+    for (size_t r = 0; r < a.rows(); ++r) {
+        const float s = v(r, 0);
+        const float *arow = a.rowPtr(r);
+        float *drow = dst.rowPtr(r);
+        for (size_t c = 0; c < a.cols(); ++c)
+            drow[c] = arow[c] * s;
+    }
 }
 
 Matrix
 scaleRows(const Matrix &a, const Matrix &v)
 {
-    if (v.cols() != 1 || v.rows() != a.rows()) {
-        throw std::invalid_argument(
-            strfmt("scaleRows: %s vs col vector %s", a.shapeStr().c_str(),
-                   v.shapeStr().c_str()));
-    }
-    Matrix c(a.rows(), a.cols());
-    for (size_t r = 0; r < a.rows(); ++r)
-        for (size_t col = 0; col < a.cols(); ++col)
-            c(r, col) = a(r, col) * v(r, 0);
+    Matrix c;
+    scaleRowsInto(c, a, v);
     return c;
+}
+
+void
+divRowsInto(Matrix &dst, const Matrix &a, const Matrix &v)
+{
+    requireColVector(a, v, "divRows");
+    if (&dst == &v)
+        throw std::invalid_argument("divRowsInto: dst aliases v");
+    dst.resize(a.rows(), a.cols());
+    for (size_t r = 0; r < a.rows(); ++r) {
+        const float inv = 1.0f / v(r, 0);
+        const float *arow = a.rowPtr(r);
+        float *drow = dst.rowPtr(r);
+        for (size_t c = 0; c < a.cols(); ++c)
+            drow[c] = arow[c] * inv;
+    }
 }
 
 Matrix
 divRows(const Matrix &a, const Matrix &v)
 {
-    if (v.cols() != 1 || v.rows() != a.rows()) {
-        throw std::invalid_argument(
-            strfmt("divRows: %s vs col vector %s", a.shapeStr().c_str(),
-                   v.shapeStr().c_str()));
-    }
-    Matrix c(a.rows(), a.cols());
-    for (size_t r = 0; r < a.rows(); ++r) {
-        const float inv = 1.0f / v(r, 0);
-        for (size_t col = 0; col < a.cols(); ++col)
-            c(r, col) = a(r, col) * inv;
-    }
+    Matrix c;
+    divRowsInto(c, a, v);
     return c;
 }
 
-Matrix
-softmaxRows(const Matrix &a)
+// --- row-wise nonlinearities ------------------------------------------------
+
+void
+softmaxRowsInto(Matrix &dst, const Matrix &a)
 {
-    Matrix s(a.rows(), a.cols());
+    dst.resize(a.rows(), a.cols());
     for (size_t r = 0; r < a.rows(); ++r) {
         const float *in = a.rowPtr(r);
-        float *out = s.rowPtr(r);
+        float *out = dst.rowPtr(r);
         float maxv = in[0];
         for (size_t c = 1; c < a.cols(); ++c)
             maxv = std::max(maxv, in[c]);
@@ -304,23 +512,92 @@ softmaxRows(const Matrix &a)
         for (size_t c = 0; c < a.cols(); ++c)
             out[c] *= inv;
     }
+}
+
+Matrix
+softmaxRows(const Matrix &a)
+{
+    Matrix s;
+    softmaxRowsInto(s, a);
     return s;
+}
+
+void
+layerNormRowsInto(Matrix &dst, const Matrix &a, const Matrix &gamma,
+                  const Matrix &beta, float eps)
+{
+    requireRowVector(a, gamma, "layerNormRows(gamma)");
+    requireRowVector(a, beta, "layerNormRows(beta)");
+    if (&dst == &gamma || &dst == &beta)
+        throw std::invalid_argument("layerNormRowsInto: dst aliases params");
+    if (a.cols() == 0)
+        throw std::invalid_argument("layerNormRows: zero columns");
+    dst.resize(a.rows(), a.cols());
+    const float inv_n = 1.0f / static_cast<float>(a.cols());
+    const float *grow = gamma.rowPtr(0);
+    const float *brow = beta.rowPtr(0);
+    for (size_t r = 0; r < a.rows(); ++r) {
+        const float *in = a.rowPtr(r);
+        float *out = dst.rowPtr(r);
+        float mean_r = 0.0f;
+        for (size_t c = 0; c < a.cols(); ++c)
+            mean_r += in[c];
+        mean_r *= inv_n;
+        float var_r = 0.0f;
+        for (size_t c = 0; c < a.cols(); ++c) {
+            const float d = in[c] - mean_r;
+            var_r += d * d;
+        }
+        var_r *= inv_n;
+        const float inv_std = 1.0f / std::sqrt(var_r + eps);
+        for (size_t c = 0; c < a.cols(); ++c)
+            out[c] = (in[c] - mean_r) * inv_std * grow[c] + brow[c];
+    }
+}
+
+Matrix
+layerNormRows(const Matrix &a, const Matrix &gamma, const Matrix &beta,
+              float eps)
+{
+    Matrix c;
+    layerNormRowsInto(c, a, gamma, beta, eps);
+    return c;
+}
+
+void
+expElemInto(Matrix &dst, const Matrix &a)
+{
+    dst.resize(a.rows(), a.cols());
+    for (size_t i = 0; i < a.size(); ++i)
+        dst.data()[i] = std::exp(a.data()[i]);
 }
 
 Matrix
 expElem(const Matrix &a)
 {
-    return mapElem(a, [](float x) { return std::exp(x); });
+    Matrix c;
+    expElemInto(c, a);
+    return c;
+}
+
+void
+mapElemInto(Matrix &dst, const Matrix &a,
+            const std::function<float(float)> &fn)
+{
+    dst.resize(a.rows(), a.cols());
+    for (size_t i = 0; i < a.size(); ++i)
+        dst.data()[i] = fn(a.data()[i]);
 }
 
 Matrix
 mapElem(const Matrix &a, const std::function<float(float)> &fn)
 {
-    Matrix c(a.rows(), a.cols());
-    for (size_t i = 0; i < a.size(); ++i)
-        c.data()[i] = fn(a.data()[i]);
+    Matrix c;
+    mapElemInto(c, a, fn);
     return c;
 }
+
+// --- structural helpers -----------------------------------------------------
 
 Matrix
 outer(const Matrix &u, const Matrix &v)
@@ -363,6 +640,8 @@ concatCols(const Matrix &a, const Matrix &b)
     }
     return c;
 }
+
+// --- scalar summaries -------------------------------------------------------
 
 float
 maxAbs(const Matrix &a)

@@ -6,6 +6,21 @@
  * the autograd layer. All functions validate shapes and throw
  * std::invalid_argument on mismatch. matmul is cache-blocked; everything
  * else is a straightforward single pass.
+ *
+ * Every hot operation comes in two forms:
+ *   - a value-returning form (matmul, softmaxRows, ...) that allocates its
+ *     result, kept for convenience and for cold paths; and
+ *   - an out-parameter *Into form (matmulInto, softmaxRowsInto, ...) that
+ *     resizes dst (recycling its storage) and writes the result there,
+ *     used by the allocation-free forwardInto execution paths together
+ *     with a Workspace.
+ * The value forms are thin wrappers over the *Into forms, so both paths
+ * produce bitwise-identical results.
+ *
+ * Aliasing: for the matmul family dst must not alias an input (checked,
+ * throws). Element-wise, row-wise, and broadcast *Into ops allow dst to
+ * alias the primary input a (they process entries in order), but never the
+ * vector operand v.
  */
 
 #ifndef VITALITY_TENSOR_OPS_H
@@ -115,6 +130,45 @@ float fractionInRange(const Matrix &a, float lo, float hi);
 
 /** Fraction of exactly-zero entries. */
 float sparsity(const Matrix &a);
+
+/**
+ * Row-wise layer normalization:
+ *   dst(r, :) = (a(r, :) - mean_r) / sqrt(var_r + eps) .* gamma + beta
+ * with gamma and beta 1 x cols row vectors (the affine parameters).
+ */
+Matrix layerNormRows(const Matrix &a, const Matrix &gamma,
+                     const Matrix &beta, float eps = 1e-5f);
+
+/** @name Allocation-free out-parameter variants
+ * Each resizes dst and writes the same result as its value-returning twin.
+ */
+/// @{
+void matmulInto(Matrix &dst, const Matrix &a, const Matrix &b);
+void matmulBTInto(Matrix &dst, const Matrix &a, const Matrix &b);
+void matmulATInto(Matrix &dst, const Matrix &a, const Matrix &b);
+void transposeInto(Matrix &dst, const Matrix &a);
+void addInto(Matrix &dst, const Matrix &a, const Matrix &b);
+void subInto(Matrix &dst, const Matrix &a, const Matrix &b);
+void hadamardInto(Matrix &dst, const Matrix &a, const Matrix &b);
+void divideInto(Matrix &dst, const Matrix &a, const Matrix &b);
+void scaleInto(Matrix &dst, const Matrix &a, float s);
+void addScalarInto(Matrix &dst, const Matrix &a, float s);
+void rowSumInto(Matrix &dst, const Matrix &a);
+void colSumInto(Matrix &dst, const Matrix &a);
+void rowMeanInto(Matrix &dst, const Matrix &a);
+void colMeanInto(Matrix &dst, const Matrix &a);
+void broadcastAddRowInto(Matrix &dst, const Matrix &a, const Matrix &v);
+void broadcastSubRowInto(Matrix &dst, const Matrix &a, const Matrix &v);
+void broadcastAddColInto(Matrix &dst, const Matrix &a, const Matrix &v);
+void scaleRowsInto(Matrix &dst, const Matrix &a, const Matrix &v);
+void divRowsInto(Matrix &dst, const Matrix &a, const Matrix &v);
+void softmaxRowsInto(Matrix &dst, const Matrix &a);
+void expElemInto(Matrix &dst, const Matrix &a);
+void mapElemInto(Matrix &dst, const Matrix &a,
+                 const std::function<float(float)> &fn);
+void layerNormRowsInto(Matrix &dst, const Matrix &a, const Matrix &gamma,
+                       const Matrix &beta, float eps = 1e-5f);
+/// @}
 
 } // namespace vitality
 

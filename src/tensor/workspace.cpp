@@ -1,0 +1,32 @@
+#include "tensor/workspace.h"
+
+namespace vitality {
+
+Matrix &
+Workspace::acquire(size_t rows, size_t cols)
+{
+    if (used_ == slots_.size())
+        slots_.emplace_back(std::make_unique<Matrix>());
+    Matrix &m = *slots_[used_++];
+    m.resize(rows, cols);
+    return m;
+}
+
+Matrix &
+Workspace::acquireZeroed(size_t rows, size_t cols)
+{
+    Matrix &m = acquire(rows, cols);
+    m.fill(0.0f);
+    return m;
+}
+
+size_t
+Workspace::elementsReserved() const
+{
+    size_t total = 0;
+    for (const auto &slot : slots_)
+        total += slot->size();
+    return total;
+}
+
+} // namespace vitality

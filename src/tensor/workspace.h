@@ -1,0 +1,89 @@
+/**
+ * @file
+ * A recycling arena for scratch matrices.
+ *
+ * Every attention kernel needs a handful of intermediates (centered keys,
+ * the global context matrix, numerators, denominators, ...). Allocating
+ * them fresh on every forward() call puts a dozen heap allocations on the
+ * hot path of every head of every layer. A Workspace owns those scratch
+ * matrices instead: acquire() checks out the next slot, resized to the
+ * requested shape but reusing its storage, and a Frame returns the slots
+ * checked out inside it when it goes out of scope. After the first call
+ * with a given shape profile, the steady state performs zero allocations.
+ *
+ * Workspaces are deliberately not thread-safe: the runtime layer gives
+ * each worker thread its own Workspace (inside an AttentionContext), which
+ * is both simpler and faster than sharing one behind a lock.
+ */
+
+#ifndef VITALITY_TENSOR_WORKSPACE_H
+#define VITALITY_TENSOR_WORKSPACE_H
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "tensor/matrix.h"
+
+namespace vitality {
+
+/** An arena of recyclable scratch matrices with stack-like checkout. */
+class Workspace
+{
+  public:
+    Workspace() = default;
+
+    Workspace(const Workspace &) = delete;
+    Workspace &operator=(const Workspace &) = delete;
+
+    /**
+     * Check out the next scratch slot, resized to rows x cols. The
+     * returned reference stays valid until reset() (slots are held by
+     * pointer, so growing the arena never moves them). Contents are
+     * unspecified; the caller must overwrite every entry it reads.
+     */
+    Matrix &acquire(size_t rows, size_t cols);
+
+    /** acquire() followed by a zero fill, for accumulation targets. */
+    Matrix &acquireZeroed(size_t rows, size_t cols);
+
+    /** Return every slot to the pool. Storage is retained for reuse. */
+    void reset() { used_ = 0; }
+
+    /** Slots currently checked out. */
+    size_t slotsInUse() const { return used_; }
+
+    /** Slots ever created (high-water mark of concurrent checkouts). */
+    size_t slotCount() const { return slots_.size(); }
+
+    /** Total floats held across all slots, for capacity reporting. */
+    size_t elementsReserved() const;
+
+    /**
+     * RAII checkout scope: records the checkout cursor on construction
+     * and rewinds to it on destruction, returning every slot acquired
+     * inside the frame. Frames nest; a kernel opens one at the top of its
+     * forwardInto() so helper routines can acquire freely.
+     */
+    class Frame
+    {
+      public:
+        explicit Frame(Workspace &ws) : ws_(ws), mark_(ws.used_) {}
+        ~Frame() { ws_.used_ = mark_; }
+
+        Frame(const Frame &) = delete;
+        Frame &operator=(const Frame &) = delete;
+
+      private:
+        Workspace &ws_;
+        size_t mark_;
+    };
+
+  private:
+    std::vector<std::unique_ptr<Matrix>> slots_;
+    size_t used_ = 0;
+};
+
+} // namespace vitality
+
+#endif // VITALITY_TENSOR_WORKSPACE_H

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Attention-layer tests: the unified kernel's decoupling identity at the
+ * two ends of the paper's Fig. 15 threshold sweep, Taylor-vs-softmax
+ * closeness in the small-logit regime, and forwardInto/forward parity
+ * for every kernel in the zoo (with context reuse across shapes).
+ */
+
+#include <cmath>
+
+#include "attention/softmax_attention.h"
+#include "attention/taylor_attention.h"
+#include "attention/unified_attention.h"
+#include "attention/zoo.h"
+#include "base/rng.h"
+#include "tensor/ops.h"
+#include "testing.h"
+
+using namespace vitality;
+
+namespace {
+
+struct Qkv
+{
+    Matrix q, k, v;
+};
+
+Qkv
+randomQkv(size_t n, size_t d, uint64_t seed, float qk_scale = 1.0f)
+{
+    Rng rng(seed);
+    return {Matrix::randn(n, d, rng, 0.0f, qk_scale),
+            Matrix::randn(n, d, rng, 0.0f, qk_scale),
+            Matrix::randn(n, d, rng)};
+}
+
+void
+testUnifiedDecouplingIdentity()
+{
+    const auto [q, k, v] = randomQkv(24, 8, 0x77a1);
+
+    // Threshold 0 keeps every predicted connection (softmax entries are
+    // all >= 0): the strong branch restores the full residual and the
+    // unified output IS the softmax attention. Mean-centering leaves
+    // softmax unchanged (Property 1), so compare against plain softmax.
+    UnifiedAttention all_ones(0.0f);
+    const auto detailed_ones = all_ones.forwardDetailed(q, k, v);
+    T_CHECK(detailed_ones.sparseBranchDensity == 1.0);
+    const Matrix softmax_z = SoftmaxAttention().forward(q, k, v);
+    T_CHECK(maxAbsDiff(detailed_ones.z, softmax_z) <= 1e-5f);
+
+    // Threshold 1 prunes everything (every softmax entry over n=24 keys
+    // is strictly < 1): the strong branch vanishes and the unified
+    // output IS the linear Taylor attention.
+    UnifiedAttention all_zero(1.0f);
+    const auto detailed_zero = all_zero.forwardDetailed(q, k, v);
+    T_CHECK(detailed_zero.sparseBranchDensity == 0.0);
+    const Matrix taylor_z = TaylorAttention().forward(q, k, v);
+    T_CHECK(maxAbsDiff(detailed_zero.z, taylor_z) <= 1e-5f);
+}
+
+void
+testTaylorTracksSoftmaxOnSmallLogits()
+{
+    // Mean-centering pushes the query-key similarities into the regime
+    // where exp(x) ~ 1 + x, so on moderate inputs the linear Taylor
+    // attention should track the softmax baseline closely (the premise
+    // of the paper's Section III-B).
+    const auto [q, k, v] = randomQkv(32, 16, 0x77b2, 0.5f);
+    const Matrix zt = TaylorAttention().forward(q, k, v);
+    const Matrix zs = SoftmaxAttention().forward(q, k, v);
+    T_CHECK(maxAbsDiff(zt, zs) < 0.25f);
+    // And far closer than predicting the mean value everywhere.
+    const Matrix vbar = colMean(v);
+    float mean_err = 0.0f;
+    for (size_t r = 0; r < zs.rows(); ++r)
+        for (size_t c = 0; c < zs.cols(); ++c)
+            mean_err = std::max(mean_err,
+                                std::fabs(zs(r, c) - vbar(0, c)));
+    T_CHECK(maxAbsDiff(zt, zs) < mean_err);
+}
+
+void
+testForwardIntoMatchesForwardAcrossZoo()
+{
+    for (const AttentionKernelPtr &kernel : makeAttentionZoo()) {
+        AttentionContext ctx;
+        Matrix out;
+        // Two shapes, repeated: the second pass at each shape runs fully
+        // recycled, and the shape switch exercises slot resizing.
+        const size_t shapes[][2] = {{24, 8}, {37, 16}, {24, 8}};
+        uint64_t seed = 0x77c3;
+        for (const auto &shape : shapes) {
+            const auto [q, k, v] =
+                randomQkv(shape[0], shape[1], seed++, 0.5f);
+            const Matrix legacy = kernel->forward(q, k, v);
+            kernel->forwardInto(ctx, q, k, v, out);
+            T_CHECK(out.rows() == legacy.rows() &&
+                    out.cols() == legacy.cols());
+            if (maxAbsDiff(out, legacy) > 1e-5f) {
+                vitality::testing::reportFailure(
+                    __FILE__, __LINE__, kernel->name().c_str());
+            }
+        }
+    }
+}
+
+void
+testTaylorDenominatorProperty()
+{
+    // Column sums of mean-centered keys vanish, so the Taylor
+    // denominator is n * sqrt(d) for every row (see taylor_attention.h).
+    const auto [q, k, v] = randomQkv(20, 8, 0x77d4);
+    const auto im = TaylorAttention().forwardDetailed(q, k, v);
+    const float expect = 20.0f * std::sqrt(8.0f);
+    for (size_t r = 0; r < im.td.rows(); ++r)
+        T_CHECK_CLOSE(im.td(r, 0), expect, 0.05f);
+}
+
+} // namespace
+
+int
+main()
+{
+    testUnifiedDecouplingIdentity();
+    testTaylorTracksSoftmaxOnSmallLogits();
+    testForwardIntoMatchesForwardAcrossZoo();
+    testTaylorDenominatorProperty();
+    return vitality::testing::finish("test_attention");
+}

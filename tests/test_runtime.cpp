@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Runtime-layer tests: ThreadPool scheduling and exception propagation,
+ * and MultiHeadAttention's pooled path against both its own sequential
+ * reference and a hand-rolled per-head loop over the legacy forward().
+ */
+
+#include <atomic>
+#include <stdexcept>
+
+#include "attention/zoo.h"
+#include "base/rng.h"
+#include "runtime/multi_head_attention.h"
+#include "runtime/thread_pool.h"
+#include "tensor/ops.h"
+#include "testing.h"
+
+using namespace vitality;
+
+namespace {
+
+void
+testThreadPoolRunsEverything()
+{
+    ThreadPool pool(4);
+    T_CHECK(pool.size() == 4);
+
+    std::atomic<int> count{0};
+    std::atomic<uint64_t> index_sum{0};
+    pool.parallelFor(0, 1000, [&](size_t i, size_t worker) {
+        T_CHECK(worker < 4);
+        count.fetch_add(1);
+        index_sum.fetch_add(i);
+    });
+    T_CHECK(count.load() == 1000);
+    T_CHECK(index_sum.load() == 999ull * 1000 / 2);
+
+    // Empty range is a no-op; more drivers than indices is fine.
+    pool.parallelFor(5, 5, [&](size_t, size_t) { count.fetch_add(1); });
+    T_CHECK(count.load() == 1000);
+    pool.parallelFor(0, 2, [&](size_t, size_t) { count.fetch_add(1); });
+    T_CHECK(count.load() == 1002);
+}
+
+void
+testThreadPoolPropagatesExceptions()
+{
+    ThreadPool pool(2);
+    bool caught = false;
+    try {
+        pool.parallelFor(0, 64, [&](size_t i, size_t) {
+            if (i == 13)
+                throw std::runtime_error("boom");
+        });
+    } catch (const std::runtime_error &) {
+        caught = true;
+    }
+    T_CHECK(caught);
+    // The pool is still healthy afterwards.
+    std::atomic<int> count{0};
+    pool.parallelFor(0, 8, [&](size_t, size_t) { count.fetch_add(1); });
+    T_CHECK(count.load() == 8);
+}
+
+void
+testMultiHeadMatchesSequentialAndLegacy()
+{
+    const size_t n = 29, heads = 3, dh = 16, dm = heads * dh;
+    Rng rng(0x99a1);
+    const Matrix q = Matrix::randn(n, dm, rng, 0.0f, 0.5f);
+    const Matrix k = Matrix::randn(n, dm, rng, 0.0f, 0.5f);
+    const Matrix v = Matrix::randn(n, dm, rng);
+
+    ThreadPool pool(4);
+    for (const AttentionKernelPtr &kernel : makeAttentionZoo()) {
+        MultiHeadAttention mha(kernel, heads);
+
+        // Pooled vs sequential: the per-head programs are identical, so
+        // the packed outputs are bitwise equal regardless of scheduling.
+        const Matrix parallel_out = mha.forward(pool, q, k, v);
+        const Matrix sequential_out = mha.forwardSequential(q, k, v);
+        T_CHECK(parallel_out == sequential_out);
+
+        // And against a hand-rolled loop over the legacy forward().
+        Matrix reference(n, dm);
+        for (size_t h = 0; h < heads; ++h) {
+            const Matrix zh = kernel->forward(
+                q.colRange(h * dh, (h + 1) * dh),
+                k.colRange(h * dh, (h + 1) * dh),
+                v.colRange(h * dh, (h + 1) * dh));
+            for (size_t r = 0; r < n; ++r)
+                for (size_t c = 0; c < dh; ++c)
+                    reference(r, h * dh + c) = zh(r, c);
+        }
+        if (maxAbsDiff(parallel_out, reference) > 1e-5f) {
+            vitality::testing::reportFailure(__FILE__, __LINE__,
+                                             kernel->name().c_str());
+        }
+
+        // Aggregate counts are per-head counts scaled by H.
+        const OpCounts agg = mha.opCounts(n, dm);
+        const OpCounts per_head = kernel->opCounts(n, dh);
+        T_CHECK(agg.mul == per_head.mul * heads);
+        T_CHECK(agg.add == per_head.add * heads);
+        T_CHECK(agg.div == per_head.div * heads);
+        T_CHECK(agg.exp == per_head.exp * heads);
+    }
+}
+
+void
+testMultiHeadDeterministicAcrossPoolSizes()
+{
+    const size_t n = 19, heads = 4, dm = 32;
+    Rng rng(0x99b2);
+    const Matrix q = Matrix::randn(n, dm, rng);
+    const Matrix k = Matrix::randn(n, dm, rng);
+    const Matrix v = Matrix::randn(n, dm, rng);
+
+    AttentionKernelPtr kernel = makeAttention(AttentionType::Taylor);
+    ThreadPool one(1), many(8);
+    MultiHeadAttention mha_one(kernel, heads), mha_many(kernel, heads);
+    const Matrix a = mha_one.forward(one, q, k, v);
+    const Matrix b = mha_many.forward(many, q, k, v);
+    T_CHECK(a == b);
+
+    // Repeated calls on the same instance recycle and stay identical.
+    const Matrix c = mha_many.forward(many, q, k, v);
+    T_CHECK(b == c);
+}
+
+void
+testMultiHeadShapeValidation()
+{
+    ThreadPool pool(2);
+    AttentionKernelPtr kernel = makeAttention(AttentionType::Softmax);
+    MultiHeadAttention mha(kernel, 3);
+    Rng rng(0x99c3);
+    const Matrix bad = Matrix::randn(8, 16, rng); // 16 % 3 != 0
+    T_CHECK_THROWS(mha.forward(pool, bad, bad, bad),
+                   std::invalid_argument);
+    T_CHECK_THROWS(MultiHeadAttention(kernel, 0), std::invalid_argument);
+    T_CHECK_THROWS(MultiHeadAttention(nullptr, 2), std::invalid_argument);
+}
+
+} // namespace
+
+int
+main()
+{
+    testThreadPoolRunsEverything();
+    testThreadPoolPropagatesExceptions();
+    testMultiHeadMatchesSequentialAndLegacy();
+    testMultiHeadDeterministicAcrossPoolSizes();
+    testMultiHeadShapeValidation();
+    return vitality::testing::finish("test_runtime");
+}

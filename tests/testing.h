@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Minimal test harness for the ctest suite.
+ *
+ * Each test executable defines RUN_TESTS(...) with its test functions; a
+ * failed check prints its location and expression and marks the process
+ * exit code nonzero, but execution continues so one run reports every
+ * failure. No external framework: the container image carries none, and
+ * assert-style macros are all these tests need.
+ */
+
+#ifndef VITALITY_TESTS_TESTING_H
+#define VITALITY_TESTS_TESTING_H
+
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+
+namespace vitality {
+namespace testing {
+
+// Atomic because some checks run on ThreadPool workers.
+inline std::atomic<int> failures{0};
+
+inline void
+reportFailure(const char *file, int line, const char *what)
+{
+    std::printf("FAIL %s:%d: %s\n", file, line, what);
+    failures.fetch_add(1);
+}
+
+inline int
+finish(const char *suite)
+{
+    const int n = failures.load();
+    if (n == 0) {
+        std::printf("%s: all checks passed\n", suite);
+        return 0;
+    }
+    std::printf("%s: %d check(s) FAILED\n", suite, n);
+    return 1;
+}
+
+} // namespace testing
+} // namespace vitality
+
+/** Check a boolean condition. */
+#define T_CHECK(cond)                                                       \
+    do {                                                                    \
+        if (!(cond))                                                        \
+            ::vitality::testing::reportFailure(__FILE__, __LINE__, #cond);  \
+    } while (0)
+
+/** Check two floats agree within tol. */
+#define T_CHECK_CLOSE(a, b, tol)                                            \
+    do {                                                                    \
+        const double t_a = (a), t_b = (b), t_tol = (tol);                   \
+        if (!(std::fabs(t_a - t_b) <= t_tol)) {                             \
+            ::vitality::testing::reportFailure(                             \
+                __FILE__, __LINE__, #a " !~ " #b);                          \
+            std::printf("  lhs=%.9g rhs=%.9g tol=%.3g\n", t_a, t_b,         \
+                        t_tol);                                             \
+        }                                                                   \
+    } while (0)
+
+/** Check that an expression throws ExType. */
+#define T_CHECK_THROWS(expr, ExType)                                        \
+    do {                                                                    \
+        bool t_caught = false;                                              \
+        try {                                                               \
+            (void)(expr);                                                   \
+        } catch (const ExType &) {                                          \
+            t_caught = true;                                                \
+        }                                                                   \
+        if (!t_caught) {                                                    \
+            ::vitality::testing::reportFailure(                             \
+                __FILE__, __LINE__, #expr " did not throw " #ExType);       \
+        }                                                                   \
+    } while (0)
+
+#endif // VITALITY_TESTS_TESTING_H
