@@ -1,21 +1,32 @@
 /**
  * @file
- * Micro-benchmark: Taylor vs softmax vs unified multi-head attention at
- * the DeiT-Tiny/Small/Base shapes (n = 197 tokens, d_h = 64 per head).
+ * Micro-benchmark: batched multi-head attention (Taylor vs softmax vs
+ * unified) at the DeiT-Tiny/Small/Base shapes, batch sizes {1, 4, 16}.
  *
- * For each (model, kernel) pair the bench runs the pooled multi-head
- * forward over packed inputs, reports mean wall-clock per invocation and
- * the analytic per-invocation OpCounts, and emits a JSON array so the
- * results can be tracked as BENCH_*.json trajectories across PRs.
+ * For each (model, kernel, batch) triple the bench runs the pooled
+ * batched multi-head forward over packed inputs and reports mean
+ * wall-clock per batch, per-image throughput, and the analytic per-image
+ * OpCounts. Results are appended as one timestamped, git-SHA-keyed entry
+ * to a trajectory JSON (an array of runs), so BENCH_attention.json
+ * accumulates history across PRs instead of being overwritten. A legacy
+ * single-snapshot file (the pre-trajectory format, one JSON object) is
+ * wrapped into the array on first append.
  *
- * Usage: bench_attention [reps] [output.json]
- *   reps          repetitions per pair after one warmup (default 3)
- *   output.json   also write the JSON there (stdout always gets it)
+ * Usage: bench_attention [reps] [trajectory.json]
+ *   reps             repetitions per triple after one warmup (default 3)
+ *   trajectory.json  append the run entry there (stdout always gets it)
+ *
+ * The git SHA is taken from $GITHUB_SHA (set by CI), then $BENCH_GIT_SHA,
+ * then `git rev-parse HEAD`, else "unknown".
  */
 
+#include <algorithm>
+#include <cctype>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <ctime>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -27,6 +38,7 @@
 #include "model/vit_config.h"
 #include "runtime/multi_head_attention.h"
 #include "runtime/thread_pool.h"
+#include "tensor/batch.h"
 #include "tensor/matrix.h"
 
 using namespace vitality;
@@ -46,17 +58,63 @@ struct Result
 {
     std::string model;
     std::string kernel;
-    size_t tokens, heads, headDim;
+    size_t tokens, heads, headDim, batch;
     int reps;
-    double wallMsMean;
-    OpCounts counts; // per multi-head invocation (all heads, one layer)
+    double wallMsMean;   // per batch invocation
+    double imagesPerSec; // batch / wall seconds
+    OpCounts counts;     // per image (all heads, one layer)
 };
 
 std::string
-toJson(const std::vector<Result> &results, size_t pool_threads)
+gitSha()
 {
+    for (const char *var : {"GITHUB_SHA", "BENCH_GIT_SHA"}) {
+        const char *env = std::getenv(var);
+        if (env && *env)
+            return env;
+    }
+    if (FILE *p = popen("git rev-parse HEAD 2>/dev/null", "r")) {
+        char buf[64] = {0};
+        const bool got = std::fgets(buf, sizeof(buf), p) != nullptr;
+        pclose(p);
+        if (got) {
+            std::string sha(buf);
+            while (!sha.empty() &&
+                   (sha.back() == '\n' || sha.back() == '\r'))
+                sha.pop_back();
+            if (!sha.empty()) {
+                // Mark uncommitted-tree runs so a trajectory entry is
+                // never misattributed to a commit that cannot have
+                // produced it.
+                if (std::system("git diff-index --quiet HEAD -- "
+                                ">/dev/null 2>&1") != 0)
+                    sha += "-dirty";
+                return sha;
+            }
+        }
+    }
+    return "unknown";
+}
+
+std::string
+isoUtc(std::time_t t)
+{
+    char buf[32];
+    std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ",
+                  std::gmtime(&t));
+    return buf;
+}
+
+/** One run entry: everything about this invocation, as a JSON object. */
+std::string
+entryJson(const std::vector<Result> &results, size_t pool_threads)
+{
+    const std::time_t now = std::time(nullptr);
     std::ostringstream os;
     os << "{\n  \"bench\": \"multi_head_attention\",\n";
+    os << "  \"sha\": \"" << gitSha() << "\",\n";
+    os << "  \"timestamp\": \"" << isoUtc(now) << "\",\n";
+    os << "  \"unix_time\": " << static_cast<long long>(now) << ",\n";
     os << "  \"pool_threads\": " << pool_threads << ",\n";
     os << "  \"results\": [\n";
     for (size_t i = 0; i < results.size(); ++i) {
@@ -64,18 +122,82 @@ toJson(const std::vector<Result> &results, size_t pool_threads)
         os << "    {\"model\": \"" << r.model << "\", \"kernel\": \""
            << r.kernel << "\", \"tokens\": " << r.tokens
            << ", \"heads\": " << r.heads
-           << ", \"head_dim\": " << r.headDim << ", \"reps\": " << r.reps
+           << ", \"head_dim\": " << r.headDim
+           << ", \"batch\": " << r.batch << ", \"reps\": " << r.reps
            << ", \"wall_ms_mean\": " << r.wallMsMean
-           << ", \"gflops\": "
+           << ", \"images_per_s\": " << r.imagesPerSec
+           << ", \"gflops_per_image\": "
            << static_cast<double>(r.counts.flops()) * 1e-9
-           << ", \"ops\": {\"mul\": " << r.counts.mul
+           << ", \"ops_per_image\": {\"mul\": " << r.counts.mul
            << ", \"add\": " << r.counts.add
            << ", \"div\": " << r.counts.div
            << ", \"exp\": " << r.counts.exp << "}}"
            << (i + 1 < results.size() ? "," : "") << "\n";
     }
-    os << "  ]\n}\n";
+    os << "  ]\n}";
     return os.str();
+}
+
+std::string
+rtrim(std::string s)
+{
+    while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back())))
+        s.pop_back();
+    return s;
+}
+
+/**
+ * Append entry to the trajectory array at path. Missing / empty file
+ * starts a fresh array; a legacy single-object snapshot is wrapped.
+ */
+void
+appendToTrajectory(const std::string &path, const std::string &entry)
+{
+    std::string existing;
+    {
+        std::ifstream in(path);
+        if (in) {
+            std::ostringstream slurp;
+            slurp << in.rdbuf();
+            existing = rtrim(slurp.str());
+        }
+    }
+
+    std::string merged;
+    if (existing.empty()) {
+        merged = "[\n" + entry + "\n]\n";
+    } else if (existing.back() == ']') {
+        existing.pop_back();
+        existing = rtrim(existing);
+        if (!existing.empty() && existing.back() == '[')
+            merged = existing + "\n" + entry + "\n]\n"; // empty array
+        else
+            merged = existing + ",\n" + entry + "\n]\n";
+    } else if (existing.back() == '}') {
+        // Legacy single-snapshot format: wrap it as the first entry.
+        merged = "[\n" + existing + ",\n" + entry + "\n]\n";
+    } else {
+        warn("bench_attention: %s is not a JSON array or object; "
+             "starting a fresh trajectory",
+             path.c_str());
+        merged = "[\n" + entry + "\n]\n";
+    }
+
+    // Write-then-rename so an interrupted run can never leave the
+    // trajectory truncated mid-JSON (which would drop the accumulated
+    // history on the next append).
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::trunc);
+        if (!out)
+            fatal("bench_attention: cannot write %s", tmp.c_str());
+        out << merged;
+        if (!out.flush())
+            fatal("bench_attention: write to %s failed", tmp.c_str());
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0)
+        fatal("bench_attention: cannot rename %s to %s", tmp.c_str(),
+              path.c_str());
 }
 
 } // namespace
@@ -93,54 +215,88 @@ main(int argc, char **argv)
     const std::vector<AttentionType> kernels = {
         AttentionType::Taylor, AttentionType::Softmax,
         AttentionType::Unified};
+    const std::vector<size_t> batchSizes = {1, 4, 16};
+    const size_t maxBatch =
+        *std::max_element(batchSizes.begin(), batchSizes.end());
 
     ThreadPool pool;
     std::vector<Result> results;
     for (const VitConfig &cfg : models) {
         Rng rng(0xbe9c ^ cfg.dModel);
-        const Matrix q =
-            Matrix::randn(cfg.tokens, cfg.dModel, rng, 0.0f, 0.5f);
-        const Matrix k =
-            Matrix::randn(cfg.tokens, cfg.dModel, rng, 0.0f, 0.5f);
-        const Matrix v = Matrix::randn(cfg.tokens, cfg.dModel, rng);
+        std::vector<Matrix> qs, ks, vs;
+        for (size_t b = 0; b < maxBatch; ++b) {
+            qs.push_back(
+                Matrix::randn(cfg.tokens, cfg.dModel, rng, 0.0f, 0.5f));
+            ks.push_back(
+                Matrix::randn(cfg.tokens, cfg.dModel, rng, 0.0f, 0.5f));
+            vs.push_back(Matrix::randn(cfg.tokens, cfg.dModel, rng));
+        }
+
+        // The inputs depend only on (model, batch); build each sliced
+        // view once instead of re-copying it per kernel.
+        struct BatchInputs
+        {
+            size_t batch;
+            Batch q, k, v;
+        };
+        std::vector<BatchInputs> inputs;
+        for (size_t batch : batchSizes) {
+            inputs.push_back(
+                {batch,
+                 Batch::fromMatrices(std::vector<Matrix>(
+                     qs.begin(), qs.begin() + batch)),
+                 Batch::fromMatrices(std::vector<Matrix>(
+                     ks.begin(), ks.begin() + batch)),
+                 Batch::fromMatrices(std::vector<Matrix>(
+                     vs.begin(), vs.begin() + batch))});
+        }
 
         for (AttentionType type : kernels) {
             AttentionKernelPtr kernel = makeAttention(type);
             MultiHeadAttention mha(kernel, cfg.heads);
 
-            Matrix out;
-            mha.forwardInto(pool, q, k, v, out); // warmup + allocation
+            for (const BatchInputs &in : inputs) {
+                const size_t batch = in.batch;
+                const Batch &q = in.q;
+                const Batch &k = in.k;
+                const Batch &v = in.v;
 
-            const double t0 = nowMs();
-            for (int r = 0; r < reps; ++r)
-                mha.forwardInto(pool, q, k, v, out);
-            const double per_rep = (nowMs() - t0) / reps;
+                Batch out;
+                mha.forwardBatchInto(pool, q, k, v, out); // warmup
 
-            Result res;
-            res.model = cfg.name;
-            res.kernel = kernel->name();
-            res.tokens = cfg.tokens;
-            res.heads = cfg.heads;
-            res.headDim = cfg.headDim();
-            res.reps = reps;
-            res.wallMsMean = per_rep;
-            res.counts = mha.opCounts(cfg.tokens, cfg.dModel);
-            results.push_back(res);
+                const double t0 = nowMs();
+                for (int r = 0; r < reps; ++r)
+                    mha.forwardBatchInto(pool, q, k, v, out);
+                const double per_rep = (nowMs() - t0) / reps;
 
-            inform("%-10s %-14s %8.3f ms  %.4f GFLOPs", cfg.name.c_str(),
-                   kernel->name().c_str(), per_rep,
-                   static_cast<double>(res.counts.flops()) * 1e-9);
+                Result res;
+                res.model = cfg.name;
+                res.kernel = kernel->name();
+                res.tokens = cfg.tokens;
+                res.heads = cfg.heads;
+                res.headDim = cfg.headDim();
+                res.batch = batch;
+                res.reps = reps;
+                res.wallMsMean = per_rep;
+                res.imagesPerSec =
+                    per_rep > 0.0
+                        ? static_cast<double>(batch) / (per_rep * 1e-3)
+                        : 0.0;
+                res.counts = mha.opCounts(cfg.tokens, cfg.dModel);
+                results.push_back(res);
+
+                inform("%-10s %-14s B=%-2zu %8.3f ms/batch  %8.1f img/s",
+                       cfg.name.c_str(), kernel->name().c_str(), batch,
+                       per_rep, res.imagesPerSec);
+            }
         }
     }
 
-    const std::string json = toJson(results, pool.size());
-    std::printf("%s", json.c_str());
+    const std::string entry = entryJson(results, pool.size());
+    std::printf("%s\n", entry.c_str());
     if (argc > 2) {
-        std::ofstream file(argv[2]);
-        if (!file)
-            fatal("bench_attention: cannot write %s", argv[2]);
-        file << json;
-        inform("wrote %s", argv[2]);
+        appendToTrajectory(argv[2], entry);
+        inform("appended run to %s", argv[2]);
     }
     return 0;
 }

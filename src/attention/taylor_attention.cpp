@@ -24,6 +24,22 @@ TaylorAttention::meanCenterKeys(const Matrix &k)
     return broadcastSubRow(k, colMean(k));
 }
 
+void
+TaylorAttention::clampDenominator(Matrix &td)
+{
+    float *p = td.data();
+    for (size_t i = 0; i < td.size(); ++i) {
+        // Sign-preserving magnitude floor: a well-negative denominator
+        // (the no-centering ablation can produce one) keeps its finite
+        // O(1) scores; only the near-zero band that would blow up the
+        // division is pushed out to +/-kDenomFloor. The negated
+        // comparison also catches NaN (from NaN inputs), which would
+        // otherwise pass any ordered threshold; NaN lands on +floor.
+        if (!(p[i] >= kDenomFloor || p[i] <= -kDenomFloor))
+            p[i] = p[i] < 0.0f ? -kDenomFloor : kDenomFloor;
+    }
+}
+
 Matrix
 TaylorAttention::forward(const Matrix &q, const Matrix &k,
                          const Matrix &v) const
@@ -62,9 +78,12 @@ TaylorAttention::forwardDetailed(const Matrix &q, const Matrix &k,
     im.ksum = colSum(im.khat);
     im.vsum = colSum(v);
 
-    // Step 4: Taylor denominator t_D = n sqrt(d) 1_n + Q ksum^T, n x 1.
+    // Step 4: Taylor denominator t_D = n sqrt(d) 1_n + Q ksum^T, n x 1,
+    // magnitude-floored at kDenomFloor (the recorded intermediate is
+    // the guarded value, the one actually divided by).
     im.td = addScalar(matmulBT(q, im.ksum),
                       static_cast<float>(n) * sqrt_d);
+    clampDenominator(im.td);
 
     // Step 5: Taylor numerator T_N = sqrt(d) (1_n vsum) + Q G, n x d.
     im.tn = broadcastAddRow(matmul(q, im.g), scale(im.vsum, sqrt_d));
@@ -113,10 +132,12 @@ TaylorAttention::forwardInto(AttentionContext &ctx, const Matrix &q,
     Matrix &vsum = ws.acquire(1, v.cols());
     colSumInto(vsum, v);
 
-    // Step 4: Taylor denominator t_D = n sqrt(d) 1_n + Q ksum^T, n x 1.
+    // Step 4: Taylor denominator t_D = n sqrt(d) 1_n + Q ksum^T, n x 1,
+    // magnitude-floored at kDenomFloor before the division.
     Matrix &td = ws.acquire(n, 1);
     matmulBTInto(td, q, ksum);
     addScalarInto(td, td, static_cast<float>(n) * sqrt_d);
+    clampDenominator(td);
 
     // Step 5: Taylor numerator T_N = sqrt(d) (1_n vsum) + Q G, n x d.
     matmulInto(out, q, g);
@@ -146,6 +167,7 @@ TaylorAttention::weakAttentionMapInto(Matrix &dst, const Matrix &q,
     Matrix &denom = ws.acquire(n, 1);
     matmulBTInto(denom, q, ksum);
     addScalarInto(denom, denom, static_cast<float>(n) * sqrt_d);
+    clampDenominator(denom);
     divRowsInto(dst, dst, denom);
 }
 

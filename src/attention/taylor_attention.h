@@ -81,6 +81,21 @@ class TaylorAttention : public AttentionKernel
     static Matrix meanCenterKeys(const Matrix &k);
 
     /**
+     * Magnitude floor applied to the Taylor denominator t_D before the
+     * row division (Step 6). With mean-centering on, t_D ~ n sqrt(d)
+     * > 0, but with centering disabled (the ablation) or adversarial
+     * queries an entry can reach zero, which would put Inf/NaN into the
+     * scores. Entries with |t_D| below the floor are clamped out to
+     * +/-kDenomFloor, preserving sign (exact zero and NaN land on
+     * +kDenomFloor); everything else — including well-negative
+     * denominators — is bitwise unaffected.
+     */
+    static constexpr float kDenomFloor = 1e-6f;
+
+    /** In-place sign-preserving guard: |t_D(i)| >= kDenomFloor after. */
+    static void clampDenominator(Matrix &td);
+
+    /**
      * The explicit n x n first-order Taylor attention map
      * diag^-1(n sqrt(d) 1 + Q khat_sum^T) (sqrt(d) 1 1^T + Q Khat^T).
      * Quadratic; used only for training/analysis, never for inference.

@@ -5,11 +5,16 @@
 
 #include "base/logging.h"
 #include "base/rng.h"
+#include "runtime/call_guard.h"
 #include "tensor/ops.h"
 
 namespace vitality {
 
 namespace {
+
+const char *const kConcurrentCall =
+    "VitEncoder: concurrent forward on one instance (activation "
+    "buffers are not shareable; use one instance per caller)";
 
 // Tanh-approximation GELU, the variant ViT/DeiT checkpoints use.
 float
@@ -18,6 +23,52 @@ gelu(float x)
     const float kSqrt2OverPi = 0.7978845608f;
     const float inner = kSqrt2OverPi * (x + 0.044715f * x * x * x);
     return 0.5f * x * (1.0f + std::tanh(inner));
+}
+
+// The per-layer float program is shared between the single-image and the
+// batched paths, which is what makes forwardBatch bitwise-identical to
+// per-image forward calls.
+
+// LN1 and the QKV projections: normed, q, k, v <- LN1(x), packed QKV.
+void
+attentionPre(const VitEncoder::LayerWeights &w, const Matrix &x,
+             Matrix &normed, Matrix &q, Matrix &k, Matrix &v)
+{
+    layerNormRowsInto(normed, x, w.ln1Gamma, w.ln1Beta);
+    matmulInto(q, normed, w.wq);
+    broadcastAddRowInto(q, q, w.bq);
+    matmulInto(k, normed, w.wk);
+    broadcastAddRowInto(k, k, w.bk);
+    matmulInto(v, normed, w.wv);
+    broadcastAddRowInto(v, v, w.bv);
+}
+
+// Output projection and residual: x += W_O attn + b_O.
+void
+attentionPost(const VitEncoder::LayerWeights &w, Matrix &x,
+              const Matrix &attn, Matrix &proj)
+{
+    matmulInto(proj, attn, w.wo);
+    broadcastAddRowInto(proj, proj, w.bo);
+    addInto(x, x, proj);
+}
+
+// MLP block: x += W_2 GELU(W_1 LN2(x)).
+void
+mlpBlock(const VitEncoder::LayerWeights &w, Matrix &x, Matrix &normed,
+         Matrix &hidden, Matrix &proj)
+{
+    layerNormRowsInto(normed, x, w.ln2Gamma, w.ln2Beta);
+    matmulInto(hidden, normed, w.w1);
+    broadcastAddRowInto(hidden, hidden, w.b1);
+    // Direct loop rather than mapElemInto: the std::function
+    // indirection costs an un-inlinable call per element on the
+    // model's largest activation matrix.
+    for (size_t i = 0; i < hidden.size(); ++i)
+        hidden.data()[i] = gelu(hidden.data()[i]);
+    matmulInto(proj, hidden, w.w2);
+    broadcastAddRowInto(proj, proj, w.b2);
+    addInto(x, x, proj);
 }
 
 } // namespace
@@ -61,6 +112,7 @@ VitEncoder::VitEncoder(VitConfig config, AttentionKernelPtr kernel,
 void
 VitEncoder::forwardInto(const Matrix &x_in, ThreadPool &pool, Matrix &out)
 {
+    CallGuard guard(inFlight_, kConcurrentCall);
     if (x_in.rows() != cfg_.tokens || x_in.cols() != cfg_.dModel) {
         throw std::invalid_argument(
             strfmt("VitEncoder: input %s, expected [%zu x %zu]",
@@ -83,31 +135,10 @@ VitEncoder::forwardInto(const Matrix &x_in, ThreadPool &pool, Matrix &out)
     Matrix &hidden = ws_.acquire(n, h);
 
     for (const LayerWeights &w : layers_) {
-        // Attention block: x += W_O MHA(LN1(x)).
-        layerNormRowsInto(normed, x, w.ln1Gamma, w.ln1Beta);
-        matmulInto(q, normed, w.wq);
-        broadcastAddRowInto(q, q, w.bq);
-        matmulInto(k, normed, w.wk);
-        broadcastAddRowInto(k, k, w.bk);
-        matmulInto(v, normed, w.wv);
-        broadcastAddRowInto(v, v, w.bv);
+        attentionPre(w, x, normed, q, k, v);
         mha_.forwardInto(pool, q, k, v, attn);
-        matmulInto(proj, attn, w.wo);
-        broadcastAddRowInto(proj, proj, w.bo);
-        addInto(x, x, proj);
-
-        // MLP block: x += W_2 GELU(W_1 LN2(x)).
-        layerNormRowsInto(normed, x, w.ln2Gamma, w.ln2Beta);
-        matmulInto(hidden, normed, w.w1);
-        broadcastAddRowInto(hidden, hidden, w.b1);
-        // Direct loop rather than mapElemInto: the std::function
-        // indirection costs an un-inlinable call per element on the
-        // model's largest activation matrix.
-        for (size_t i = 0; i < hidden.size(); ++i)
-            hidden.data()[i] = gelu(hidden.data()[i]);
-        matmulInto(proj, hidden, w.w2);
-        broadcastAddRowInto(proj, proj, w.b2);
-        addInto(x, x, proj);
+        attentionPost(w, x, attn, proj);
+        mlpBlock(w, x, normed, hidden, proj);
     }
 
     out.copyFrom(x);
@@ -118,6 +149,58 @@ VitEncoder::forward(const Matrix &x, ThreadPool &pool)
 {
     Matrix out;
     forwardInto(x, pool, out);
+    return out;
+}
+
+void
+VitEncoder::forwardBatchInto(const Batch &x_in, ThreadPool &pool,
+                             Batch &out)
+{
+    CallGuard guard(inFlight_, kConcurrentCall);
+    if (x_in.size() == 0)
+        throw std::invalid_argument("VitEncoder: empty batch");
+    if (x_in.rows() != cfg_.tokens || x_in.cols() != cfg_.dModel) {
+        throw std::invalid_argument(
+            strfmt("VitEncoder: batch %s, expected [B x %zu x %zu]",
+                   x_in.shapeStr().c_str(), cfg_.tokens, cfg_.dModel));
+    }
+
+    const size_t batch = x_in.size();
+    const size_t n = cfg_.tokens;
+    const size_t d = cfg_.dModel;
+    const size_t h = cfg_.mlpHidden;
+
+    bx_.copyFrom(x_in);
+    bnormed_.resize(batch, n, d);
+    bq_.resize(batch, n, d);
+    bk_.resize(batch, n, d);
+    bv_.resize(batch, n, d);
+    bproj_.resize(batch, n, d);
+    bhidden_.resize(batch, n, h);
+
+    for (const LayerWeights &w : layers_) {
+        // Dense pre-attention stages, one image per task. The per-image
+        // buffers are disjoint, so tasks never share floats.
+        pool.parallelFor(0, batch, [&](size_t b, size_t) {
+            attentionPre(w, bx_[b], bnormed_[b], bq_[b], bk_[b], bv_[b]);
+        });
+        // Attention: B x heads work items through per-worker contexts.
+        mha_.forwardBatchInto(pool, bq_, bk_, bv_, battn_);
+        // Output projection, residual, and MLP, one image per task.
+        pool.parallelFor(0, batch, [&](size_t b, size_t) {
+            attentionPost(w, bx_[b], battn_[b], bproj_[b]);
+            mlpBlock(w, bx_[b], bnormed_[b], bhidden_[b], bproj_[b]);
+        });
+    }
+
+    out.copyFrom(bx_);
+}
+
+Batch
+VitEncoder::forwardBatch(const Batch &x, ThreadPool &pool)
+{
+    Batch out;
+    forwardBatchInto(x, pool, out);
     return out;
 }
 

@@ -9,7 +9,9 @@
  *
  * with the multi-head attention dispatched through the runtime layer, so
  * any kernel in the zoo (softmax baseline, ViTALiTy Taylor, Sanger
- * sparse, unified, ...) can be swapped in end-to-end. Weights are
+ * sparse, unified, ...) can be swapped in end-to-end. forwardBatch runs
+ * the same program over B images at once, fanning both the dense stages
+ * (per image) and the attention (per image x head) across the pool. Weights are
  * randomly initialized (the repo reproduces the paper's compute and
  * accuracy *structure*, not trained checkpoints); everything is seeded,
  * so runs are bit-reproducible.
@@ -23,6 +25,7 @@
 #ifndef VITALITY_MODEL_VIT_ENCODER_H
 #define VITALITY_MODEL_VIT_ENCODER_H
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -30,6 +33,7 @@
 #include "model/vit_config.h"
 #include "runtime/multi_head_attention.h"
 #include "runtime/thread_pool.h"
+#include "tensor/batch.h"
 #include "tensor/workspace.h"
 
 namespace vitality {
@@ -79,6 +83,27 @@ class VitEncoder
     Matrix forward(const Matrix &x, ThreadPool &pool);
 
     /**
+     * Run the full encoder stack over a batch of B images.
+     *
+     * Per layer the dense stages (layer norms, QKV/output projections,
+     * MLP) are fanned across the pool one image per task, and the
+     * attention dispatch fans B x heads work items, which is what keeps
+     * a wide pool busy at small head counts. Per-image activation
+     * buffers are recycled across calls (Batch::resize semantics), and
+     * each pool worker runs attention through its own recycled
+     * AttentionContext, so the steady state stays allocation-free.
+     *
+     * @param x Batch of B token-embedding matrices, tokens x dModel.
+     * @param pool Pool the (image, head) work items fan out across.
+     * @param out Resized to B x tokens x dModel; must not alias x.
+     * Image b is bitwise-identical to forwardInto(x[b], ...) — the
+     * per-image float program is unchanged, only the scheduling differs.
+     */
+    void forwardBatchInto(const Batch &x, ThreadPool &pool, Batch &out);
+
+    Batch forwardBatch(const Batch &x, ThreadPool &pool);
+
+    /**
      * Attention-only rollup: kernel per-head opCounts(tokens, headDim)
      * x heads x layers — the quantity the paper's Eq. (1)-(3) and
      * Table IV state per model.
@@ -101,6 +126,15 @@ class VitEncoder
     MultiHeadAttention mha_;
     std::vector<LayerWeights> layers_;
     Workspace ws_;
+    /** Per-image batch activations, recycled across forwardBatch calls. */
+    Batch bx_, bnormed_, bq_, bk_, bv_, battn_, bproj_, bhidden_;
+    /**
+     * Set while a forward entry point is executing; the activation
+     * buffers above (and ws_) are shared per instance, so a concurrent
+     * same-instance call throws std::logic_error instead of silently
+     * corrupting them (same contract as MultiHeadAttention).
+     */
+    std::atomic<bool> inFlight_{false};
 };
 
 } // namespace vitality

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * RAII re-entrancy guard for single-caller runtime objects.
+ *
+ * MultiHeadAttention and VitEncoder own per-worker contexts and recycled
+ * activation buffers, so concurrent forward calls on one instance would
+ * silently corrupt shared state. CallGuard turns that misuse into a
+ * deterministic std::logic_error: the first caller flips the in-flight
+ * flag, any overlapping caller throws, and the flag is released on scope
+ * exit (including exceptional exit).
+ */
+
+#ifndef VITALITY_RUNTIME_CALL_GUARD_H
+#define VITALITY_RUNTIME_CALL_GUARD_H
+
+#include <atomic>
+#include <stdexcept>
+
+namespace vitality {
+
+/** Throws std::logic_error(what) if flag is already held; RAII release. */
+class CallGuard
+{
+  public:
+    CallGuard(std::atomic<bool> &flag, const char *what) : flag_(flag)
+    {
+        if (flag_.exchange(true, std::memory_order_acq_rel))
+            throw std::logic_error(what);
+    }
+
+    ~CallGuard() { flag_.store(false, std::memory_order_release); }
+
+    CallGuard(const CallGuard &) = delete;
+    CallGuard &operator=(const CallGuard &) = delete;
+
+  private:
+    std::atomic<bool> &flag_;
+};
+
+} // namespace vitality
+
+#endif // VITALITY_RUNTIME_CALL_GUARD_H

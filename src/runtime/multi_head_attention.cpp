@@ -16,6 +16,15 @@ MultiHeadAttention::MultiHeadAttention(AttentionKernelPtr kernel,
         throw std::invalid_argument("MultiHeadAttention: zero heads");
 }
 
+namespace {
+
+const char *const kConcurrentCall =
+    "MultiHeadAttention: concurrent forward on one instance "
+    "(per-worker contexts are not shareable; use one instance "
+    "per caller)";
+
+} // namespace
+
 void
 MultiHeadAttention::checkShapes(const Matrix &q, const Matrix &k,
                                 const Matrix &v) const
@@ -27,11 +36,54 @@ MultiHeadAttention::checkShapes(const Matrix &q, const Matrix &k,
                    q.shapeStr().c_str(), k.shapeStr().c_str(),
                    v.shapeStr().c_str()));
     }
+    if (q.rows() == 0 || k.rows() == 0) {
+        throw std::invalid_argument(
+            strfmt("multi-head: empty token dimension Q=%s K=%s",
+                   q.shapeStr().c_str(), k.shapeStr().c_str()));
+    }
+    // cols % heads == 0 with cols > 0 guarantees d_h >= 1, so this is
+    // the only way to reach a zero head dimension.
+    if (q.cols() == 0) {
+        throw std::invalid_argument(
+            "multi-head: zero-width packed input (head dim would be 0)");
+    }
     if (q.cols() % heads_ != 0) {
         throw std::invalid_argument(
             strfmt("multi-head: %zu columns not divisible by %zu heads",
                    q.cols(), heads_));
     }
+}
+
+void
+MultiHeadAttention::checkBatchShapes(const Batch &q, const Batch &k,
+                                     const Batch &v) const
+{
+    if (q.size() == 0)
+        throw std::invalid_argument("multi-head: empty batch");
+    if (q.size() != k.size() || k.size() != v.size()) {
+        throw std::invalid_argument(
+            strfmt("multi-head: batch size mismatch Q=%zu K=%zu V=%zu",
+                   q.size(), k.size(), v.size()));
+    }
+    // Batch establishes the uniform-shape invariant at construction, but
+    // images are handed out mutably; re-validate so a reshaped image
+    // fails loudly here rather than corrupting the head slicing.
+    for (size_t b = 0; b < q.size(); ++b) {
+        checkShapes(q[b], k[b], v[b]);
+        if (q[b].rows() != q[0].rows() || q[b].cols() != q[0].cols() ||
+            k[b].rows() != k[0].rows()) {
+            throw std::invalid_argument(
+                strfmt("multi-head: non-uniform batch at image %zu", b));
+        }
+    }
+}
+
+void
+MultiHeadAttention::ensureContexts(size_t workers)
+{
+    std::lock_guard<std::mutex> lock(contextsMutex_);
+    while (contexts_.size() < workers)
+        contexts_.emplace_back(std::make_unique<AttentionContext>());
 }
 
 void
@@ -78,9 +130,9 @@ MultiHeadAttention::forwardInto(ThreadPool &pool, const Matrix &q,
                                 const Matrix &k, const Matrix &v,
                                 Matrix &out)
 {
+    CallGuard guard(inFlight_, kConcurrentCall);
     checkShapes(q, k, v);
-    while (contexts_.size() < pool.size())
-        contexts_.emplace_back(std::make_unique<AttentionContext>());
+    ensureContexts(pool.size());
 
     out.resize(q.rows(), q.cols());
     pool.parallelFor(0, heads_, [&](size_t head, size_t worker) {
@@ -98,9 +150,39 @@ MultiHeadAttention::forward(ThreadPool &pool, const Matrix &q,
 }
 
 void
+MultiHeadAttention::forwardBatchInto(ThreadPool &pool, const Batch &q,
+                                     const Batch &k, const Batch &v,
+                                     Batch &out)
+{
+    CallGuard guard(inFlight_, kConcurrentCall);
+    checkBatchShapes(q, k, v);
+    ensureContexts(pool.size());
+
+    out.resize(q.size(), q.rows(), q.cols());
+    // One work item per (image, head) pair: B x H items keep the pool
+    // busy even when H alone is smaller than the worker count.
+    pool.parallelFor(0, q.size() * heads_, [&](size_t item, size_t worker) {
+        const size_t image = item / heads_;
+        const size_t head = item % heads_;
+        runHead(*contexts_[worker], head, q[image], k[image], v[image],
+                out[image]);
+    });
+}
+
+Batch
+MultiHeadAttention::forwardBatch(ThreadPool &pool, const Batch &q,
+                                 const Batch &k, const Batch &v)
+{
+    Batch out;
+    forwardBatchInto(pool, q, k, v, out);
+    return out;
+}
+
+void
 MultiHeadAttention::forwardSequentialInto(const Matrix &q, const Matrix &k,
                                           const Matrix &v, Matrix &out)
 {
+    CallGuard guard(inFlight_, kConcurrentCall);
     checkShapes(q, k, v);
     out.resize(q.rows(), q.cols());
     for (size_t head = 0; head < heads_; ++head)
@@ -113,6 +195,30 @@ MultiHeadAttention::forwardSequential(const Matrix &q, const Matrix &k,
 {
     Matrix out;
     forwardSequentialInto(q, k, v, out);
+    return out;
+}
+
+void
+MultiHeadAttention::forwardBatchSequentialInto(const Batch &q,
+                                               const Batch &k,
+                                               const Batch &v, Batch &out)
+{
+    CallGuard guard(inFlight_, kConcurrentCall);
+    checkBatchShapes(q, k, v);
+    out.resize(q.size(), q.rows(), q.cols());
+    for (size_t image = 0; image < q.size(); ++image) {
+        for (size_t head = 0; head < heads_; ++head)
+            runHead(seqContext_, head, q[image], k[image], v[image],
+                    out[image]);
+    }
+}
+
+Batch
+MultiHeadAttention::forwardBatchSequential(const Batch &q, const Batch &k,
+                                           const Batch &v)
+{
+    Batch out;
+    forwardBatchSequentialInto(q, k, v, out);
     return out;
 }
 

@@ -12,23 +12,34 @@
  * multi-head attention. The output projection W_O lives in the model
  * layer, matching where the paper draws the attention-vs-linear boundary.
  *
+ * The batched entry points take a Batch of B packed images and fan
+ * B x H independent work items across the pool, which is what keeps the
+ * workers busy at small head counts (H=3 for DeiT-Tiny leaves most of a
+ * pool idle when only one image is in flight).
+ *
  * Thread safety: one MultiHeadAttention instance owns per-worker
- * contexts, so concurrent forward() calls on the same instance are not
- * allowed; concurrent calls on different instances are fine.
+ * contexts, so concurrent forward calls on the same instance are not
+ * allowed; the entry points detect that misuse and throw
+ * std::logic_error instead of corrupting the shared contexts. Concurrent
+ * calls on different instances are fine.
  */
 
 #ifndef VITALITY_RUNTIME_MULTI_HEAD_ATTENTION_H
 #define VITALITY_RUNTIME_MULTI_HEAD_ATTENTION_H
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "attention/attention.h"
+#include "runtime/call_guard.h"
 #include "runtime/thread_pool.h"
+#include "tensor/batch.h"
 
 namespace vitality {
 
-/** Fans H heads of an attention kernel across a thread pool. */
+/** Fans H heads (x B images) of an attention kernel across a pool. */
 class MultiHeadAttention
 {
   public:
@@ -46,7 +57,7 @@ class MultiHeadAttention
      * Parallel forward over packed inputs.
      *
      * @param pool Pool to fan heads across.
-     * @param q,k,v Packed matrices, n x (heads * d_h).
+     * @param q,k,v Packed matrices, n x (heads * d_h), n >= 1, d_h >= 1.
      * @param out Packed result, resized to n x (heads * d_h).
      */
     void forwardInto(ThreadPool &pool, const Matrix &q, const Matrix &k,
@@ -56,15 +67,38 @@ class MultiHeadAttention
                    const Matrix &v);
 
     /**
+     * Batched parallel forward: B x heads work items across the pool.
+     *
+     * @param pool Pool to fan (image, head) pairs across.
+     * @param q,k,v Batches of B packed matrices (all three the same B).
+     * @param out Resized to B x n x (heads * d_h); must not alias an
+     * input batch. Bitwise-identical to B forwardInto calls, one per
+     * image (each (image, head) pair is an independent float program;
+     * only the scheduling differs).
+     */
+    void forwardBatchInto(ThreadPool &pool, const Batch &q, const Batch &k,
+                          const Batch &v, Batch &out);
+
+    Batch forwardBatch(ThreadPool &pool, const Batch &q, const Batch &k,
+                       const Batch &v);
+
+    /**
      * Reference path: identical computation, one head at a time on the
-     * calling thread. Bitwise-identical to the pooled path (each head is
-     * an independent float program; only the interleaving differs).
+     * calling thread. Bitwise-identical to the pooled path.
      */
     void forwardSequentialInto(const Matrix &q, const Matrix &k,
                                const Matrix &v, Matrix &out);
 
     Matrix forwardSequential(const Matrix &q, const Matrix &k,
                              const Matrix &v);
+
+    /** Batched sequential reference, bitwise-identical to the pooled
+     * batch path. */
+    void forwardBatchSequentialInto(const Batch &q, const Batch &k,
+                                    const Batch &v, Batch &out);
+
+    Batch forwardBatchSequential(const Batch &q, const Batch &k,
+                                 const Batch &v);
 
     /**
      * Aggregate op counts for one multi-head invocation: the kernel's
@@ -75,14 +109,29 @@ class MultiHeadAttention
   private:
     void checkShapes(const Matrix &q, const Matrix &k,
                      const Matrix &v) const;
+    void checkBatchShapes(const Batch &q, const Batch &k,
+                          const Batch &v) const;
+    /** Grow contexts_ to at least workers entries, under contextsMutex_. */
+    void ensureContexts(size_t workers);
     /** Run one head through ctx and write its output slice into out. */
     void runHead(AttentionContext &ctx, size_t head, const Matrix &q,
                  const Matrix &k, const Matrix &v, Matrix &out);
 
     AttentionKernelPtr kernel_;
     size_t heads_;
-    /** One context per pool worker, grown on demand. */
+    /**
+     * One context per pool worker, grown on demand. Growth is guarded by
+     * contextsMutex_ so the vector itself stays intact even under the
+     * (disallowed, detected) concurrent-caller misuse.
+     */
     std::vector<std::unique_ptr<AttentionContext>> contexts_;
+    std::mutex contextsMutex_;
+    /**
+     * Set while a forward entry point is executing; CallGuard turns a
+     * concurrent same-instance call (which would share per-worker
+     * contexts between two forwards) into std::logic_error.
+     */
+    std::atomic<bool> inFlight_{false};
     /** Context for the sequential reference path. */
     AttentionContext seqContext_;
 };

@@ -1,0 +1,112 @@
+#include "tensor/batch.h"
+
+#include <stdexcept>
+
+#include "base/logging.h"
+#include "base/rng.h"
+
+namespace vitality {
+
+Batch::Batch(size_t images, size_t rows, size_t cols)
+{
+    images_.reserve(images);
+    for (size_t i = 0; i < images; ++i)
+        images_.emplace_back(rows, cols);
+}
+
+Batch
+Batch::fromMatrices(std::vector<Matrix> images)
+{
+    for (size_t i = 1; i < images.size(); ++i) {
+        if (images[i].rows() != images[0].rows() ||
+            images[i].cols() != images[0].cols()) {
+            throw std::invalid_argument(
+                strfmt("Batch: image %zu is %s, image 0 is %s", i,
+                       images[i].shapeStr().c_str(),
+                       images[0].shapeStr().c_str()));
+        }
+    }
+    Batch b;
+    b.images_ = std::move(images);
+    return b;
+}
+
+Batch
+Batch::randn(size_t images, size_t rows, size_t cols, Rng &rng, float mean,
+             float stddev)
+{
+    Batch b;
+    b.images_.reserve(images);
+    for (size_t i = 0; i < images; ++i)
+        b.images_.push_back(Matrix::randn(rows, cols, rng, mean, stddev));
+    return b;
+}
+
+Matrix &
+Batch::at(size_t i)
+{
+    if (i >= images_.size())
+        throw std::out_of_range(
+            strfmt("Batch: image %zu of %zu", i, images_.size()));
+    return images_[i];
+}
+
+const Matrix &
+Batch::at(size_t i) const
+{
+    if (i >= images_.size())
+        throw std::out_of_range(
+            strfmt("Batch: image %zu of %zu", i, images_.size()));
+    return images_[i];
+}
+
+void
+Batch::resize(size_t images, size_t rows, size_t cols)
+{
+    if (images_.size() > images)
+        images_.resize(images);
+    for (Matrix &m : images_)
+        m.resize(rows, cols);
+    while (images_.size() < images)
+        images_.emplace_back(rows, cols);
+}
+
+void
+Batch::copyFrom(const Batch &other)
+{
+    resize(other.size(), other.rows(), other.cols());
+    for (size_t i = 0; i < images_.size(); ++i)
+        images_[i].copyFrom(other.images_[i]);
+}
+
+bool
+Batch::operator==(const Batch &other) const
+{
+    if (images_.size() != other.images_.size())
+        return false;
+    for (size_t i = 0; i < images_.size(); ++i) {
+        if (images_[i] != other.images_[i])
+            return false;
+    }
+    return true;
+}
+
+bool
+Batch::allClose(const Batch &other, float tol) const
+{
+    if (images_.size() != other.images_.size())
+        return false;
+    for (size_t i = 0; i < images_.size(); ++i) {
+        if (!images_[i].allClose(other.images_[i], tol))
+            return false;
+    }
+    return true;
+}
+
+std::string
+Batch::shapeStr() const
+{
+    return strfmt("[%zu x %zu x %zu]", size(), rows(), cols());
+}
+
+} // namespace vitality

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * A uniform-shape batch of token matrices.
+ *
+ * The paper reports its end-to-end DeiT speedups over batched inference;
+ * serving workloads (DynamicViT-style) likewise deliver images in groups.
+ * A Batch is the tensor-layer representation of that: B images, each an
+ * identical rows x cols token matrix, stored as a vector of Matrix so
+ * every image keeps the row-major layout the kernels already consume.
+ * The uniform-shape invariant is established at construction (and by
+ * resize()); the runtime layer relies on it to compute per-head slices
+ * once for the whole batch.
+ *
+ * at()/operator[] hand out mutable Matrix references so callers can fill
+ * images in place; reshaping an individual image through such a reference
+ * breaks the invariant and is a caller error (the runtime's batch entry
+ * points re-validate shapes and throw).
+ *
+ * Like Matrix::resize, Batch::resize recycles storage: shrinking or
+ * re-shaping never reallocates an image whose buffer is already large
+ * enough, which is what makes per-call batch activations allocation-free
+ * in steady state.
+ */
+
+#ifndef VITALITY_TENSOR_BATCH_H
+#define VITALITY_TENSOR_BATCH_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "tensor/matrix.h"
+
+namespace vitality {
+
+class Rng;
+
+/** B token matrices of identical shape (one per image). */
+class Batch
+{
+  public:
+    /** An empty batch (0 images). */
+    Batch() = default;
+
+    /** images matrices of rows x cols, zero-filled. */
+    Batch(size_t images, size_t rows, size_t cols);
+
+    /**
+     * Adopt an existing collection of matrices. All images must share one
+     * shape; throws std::invalid_argument otherwise.
+     */
+    static Batch fromMatrices(std::vector<Matrix> images);
+
+    /** images matrices of i.i.d. N(mean, stddev^2) entries from rng. */
+    static Batch randn(size_t images, size_t rows, size_t cols, Rng &rng,
+                       float mean = 0.0f, float stddev = 1.0f);
+
+    /** Number of images B. */
+    size_t size() const { return images_.size(); }
+    bool empty() const { return images_.empty(); }
+
+    /** Rows of every image (0 for an empty batch). */
+    size_t rows() const { return images_.empty() ? 0 : images_[0].rows(); }
+
+    /** Columns of every image (0 for an empty batch). */
+    size_t cols() const { return images_.empty() ? 0 : images_[0].cols(); }
+
+    /** Image access; at() throws std::out_of_range on a bad index. */
+    Matrix &at(size_t i);
+    const Matrix &at(size_t i) const;
+    Matrix &operator[](size_t i) { return images_[i]; }
+    const Matrix &operator[](size_t i) const { return images_[i]; }
+
+    /**
+     * Resize to images x rows x cols, recycling every image's storage
+     * (Matrix::resize semantics: contents are unspecified afterwards).
+     */
+    void resize(size_t images, size_t rows, size_t cols);
+
+    /** Resize to other's shape and copy its contents. */
+    void copyFrom(const Batch &other);
+
+    /** True if image counts, shapes, and all entries match exactly. */
+    bool operator==(const Batch &other) const;
+    bool operator!=(const Batch &other) const { return !(*this == other); }
+
+    /** True if shapes match and every entry differs by at most tol. */
+    bool allClose(const Batch &other, float tol = 1e-5f) const;
+
+    /** Human-readable shape, e.g. "[4 x 197 x 192]". */
+    std::string shapeStr() const;
+
+    /** @name Range-for iteration over images */
+    /// @{
+    std::vector<Matrix>::iterator begin() { return images_.begin(); }
+    std::vector<Matrix>::iterator end() { return images_.end(); }
+    std::vector<Matrix>::const_iterator begin() const
+    {
+        return images_.begin();
+    }
+    std::vector<Matrix>::const_iterator end() const
+    {
+        return images_.end();
+    }
+    /// @}
+
+  private:
+    std::vector<Matrix> images_;
+};
+
+} // namespace vitality
+
+#endif // VITALITY_TENSOR_BATCH_H

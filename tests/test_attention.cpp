@@ -106,6 +106,63 @@ testForwardIntoMatchesForwardAcrossZoo()
 }
 
 void
+testTaylorDenominatorGuard()
+{
+    // With mean-centering disabled, ksum = colSum(K) is nonzero, so a
+    // query row can drive t_D = n sqrt(d) + q . ksum to zero or below.
+    // K = ones(2, 4) gives ksum = (2, 2, 2, 2); q0 = -0.5 * ones hits
+    // t_D = 4 - 4 = 0 exactly, and q1 = -ones lands at -4. Unguarded,
+    // the row division would emit Inf/NaN scores.
+    const size_t n = 2, d = 4;
+    Matrix q(n, d);
+    for (size_t c = 0; c < d; ++c) {
+        q(0, c) = -0.5f;
+        q(1, c) = -1.0f;
+    }
+    const Matrix k = Matrix::ones(n, d);
+    Rng rng(0x77e6);
+    const Matrix v = Matrix::randn(n, d, rng);
+
+    const TaylorAttention taylor(/*mean_center=*/false);
+    const auto im = taylor.forwardDetailed(q, k, v);
+    for (size_t r = 0; r < n; ++r)
+        T_CHECK(std::fabs(im.td(r, 0)) >= TaylorAttention::kDenomFloor);
+    // The zero row is pushed to +floor; the well-negative row keeps its
+    // sign and value (sign-preserving clamp, no 1e6x blow-up).
+    T_CHECK(im.td(0, 0) == TaylorAttention::kDenomFloor);
+    T_CHECK(im.td(1, 0) == -4.0f);
+    for (size_t i = 0; i < im.z.size(); ++i)
+        T_CHECK(std::isfinite(im.z.data()[i]));
+
+    // The allocation-free path applies the same guard.
+    AttentionContext ctx;
+    Matrix out;
+    taylor.forwardInto(ctx, q, k, v, out);
+    T_CHECK(out == im.z);
+
+    // The explicit weak map shares the guarded denominator.
+    const Matrix weak = TaylorAttention::weakAttentionMap(q, k);
+    for (size_t i = 0; i < weak.size(); ++i)
+        T_CHECK(std::isfinite(weak.data()[i]));
+
+    // Well-conditioned inputs are bitwise unaffected: the clamp only
+    // touches the near-zero band, and preserves sign there.
+    Matrix td = {{5.0f},
+                 {TaylorAttention::kDenomFloor},
+                 {-3.0f},
+                 {1e-8f},
+                 {-1e-8f},
+                 {0.0f}};
+    TaylorAttention::clampDenominator(td);
+    T_CHECK(td(0, 0) == 5.0f);
+    T_CHECK(td(1, 0) == TaylorAttention::kDenomFloor);
+    T_CHECK(td(2, 0) == -3.0f);
+    T_CHECK(td(3, 0) == TaylorAttention::kDenomFloor);
+    T_CHECK(td(4, 0) == -TaylorAttention::kDenomFloor);
+    T_CHECK(td(5, 0) == TaylorAttention::kDenomFloor);
+}
+
+void
 testTaylorDenominatorProperty()
 {
     // Column sums of mean-centered keys vanish, so the Taylor
@@ -126,5 +183,6 @@ main()
     testTaylorTracksSoftmaxOnSmallLogits();
     testForwardIntoMatchesForwardAcrossZoo();
     testTaylorDenominatorProperty();
+    testTaylorDenominatorGuard();
     return vitality::testing::finish("test_attention");
 }

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Tensor-layer tests for Batch: construction, the uniform-shape
+ * invariant, recycling resize, copy/equality, and seeded factories.
+ */
+
+#include <stdexcept>
+#include <vector>
+
+#include "base/rng.h"
+#include "tensor/batch.h"
+#include "testing.h"
+
+using namespace vitality;
+
+namespace {
+
+void
+testConstructionAndShape()
+{
+    const Batch empty;
+    T_CHECK(empty.size() == 0 && empty.empty());
+    T_CHECK(empty.rows() == 0 && empty.cols() == 0);
+
+    Batch b(3, 5, 7);
+    T_CHECK(b.size() == 3 && !b.empty());
+    T_CHECK(b.rows() == 5 && b.cols() == 7);
+    T_CHECK(b.shapeStr() == "[3 x 5 x 7]");
+    for (const Matrix &m : b) {
+        T_CHECK(m.rows() == 5 && m.cols() == 7);
+        for (size_t i = 0; i < m.size(); ++i)
+            T_CHECK(m.data()[i] == 0.0f);
+    }
+
+    T_CHECK_THROWS(b.at(3), std::out_of_range);
+    b.at(2)(4, 6) = 1.5f;
+    T_CHECK(b[2](4, 6) == 1.5f);
+}
+
+void
+testFromMatricesEnforcesUniformity()
+{
+    std::vector<Matrix> ok;
+    ok.emplace_back(4, 6);
+    ok.emplace_back(4, 6);
+    const Batch b = Batch::fromMatrices(std::move(ok));
+    T_CHECK(b.size() == 2 && b.rows() == 4 && b.cols() == 6);
+
+    std::vector<Matrix> bad;
+    bad.emplace_back(4, 6);
+    bad.emplace_back(5, 6);
+    T_CHECK_THROWS(Batch::fromMatrices(std::move(bad)),
+                   std::invalid_argument);
+
+    std::vector<Matrix> bad_cols;
+    bad_cols.emplace_back(4, 6);
+    bad_cols.emplace_back(4, 7);
+    T_CHECK_THROWS(Batch::fromMatrices(std::move(bad_cols)),
+                   std::invalid_argument);
+}
+
+void
+testRandnDeterminism()
+{
+    Rng a(0xabc1), b(0xabc1), c(0xdef2);
+    const Batch ba = Batch::randn(3, 8, 4, a, 0.0f, 1.0f);
+    const Batch bb = Batch::randn(3, 8, 4, b, 0.0f, 1.0f);
+    const Batch bc = Batch::randn(3, 8, 4, c, 0.0f, 1.0f);
+    T_CHECK(ba == bb);
+    T_CHECK(ba != bc);
+    T_CHECK(ba.allClose(bb, 0.0f));
+    // Images within a batch are independent draws, not copies.
+    T_CHECK(ba[0] != ba[1]);
+}
+
+void
+testResizeRecyclesAndCopyFrom()
+{
+    Batch b(2, 10, 10);
+    const float *storage0 = b[0].data();
+    // Shrinking reuses each image's buffer (Matrix::resize contract).
+    b.resize(2, 5, 8);
+    T_CHECK(b.size() == 2 && b.rows() == 5 && b.cols() == 8);
+    T_CHECK(b[0].data() == storage0);
+    // Growing the image count appends fresh images at the new shape.
+    b.resize(4, 5, 8);
+    T_CHECK(b.size() == 4);
+    T_CHECK(b[3].rows() == 5 && b[3].cols() == 8);
+    // Shrinking the image count drops the tail.
+    b.resize(1, 5, 8);
+    T_CHECK(b.size() == 1);
+
+    Rng rng(0x5151);
+    const Batch src = Batch::randn(3, 4, 4, rng);
+    Batch dst;
+    dst.copyFrom(src);
+    T_CHECK(dst == src);
+    dst[1](0, 0) += 1.0f;
+    T_CHECK(dst != src);
+}
+
+void
+testEqualityAcrossShapes()
+{
+    const Batch a(2, 3, 3), b(3, 3, 3), c(2, 4, 3);
+    T_CHECK(a != b);
+    T_CHECK(a != c);
+    T_CHECK(a == Batch(2, 3, 3));
+    T_CHECK(!a.allClose(b));
+}
+
+} // namespace
+
+int
+main()
+{
+    testConstructionAndShape();
+    testFromMatricesEnforcesUniformity();
+    testRandnDeterminism();
+    testResizeRecyclesAndCopyFrom();
+    testEqualityAcrossShapes();
+    return vitality::testing::finish("test_batch");
+}

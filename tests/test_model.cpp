@@ -7,11 +7,16 @@
  */
 
 #include <cmath>
+#include <condition_variable>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
 
 #include "attention/zoo.h"
 #include "base/rng.h"
 #include "model/vit_config.h"
 #include "model/vit_encoder.h"
+#include "tensor/batch.h"
 #include "tensor/ops.h"
 #include "testing.h"
 
@@ -108,6 +113,138 @@ testOpCountRollup()
     T_CHECK(s / t > 2.5 && s / t < 6.0);
 }
 
+void
+testEncoderBatchMatchesPerImage()
+{
+    // A small config keeps the three-kernel sweep fast while exercising
+    // the same code paths as the DeiT presets.
+    const VitConfig cfg{"Test-Small", 2, 3, 48, 19, 96};
+    cfg.validate();
+    Rng rng(0x3422);
+    const Batch x = Batch::randn(3, cfg.tokens, cfg.dModel, rng);
+    ThreadPool pool(4);
+
+    for (AttentionType type :
+         {AttentionType::Taylor, AttentionType::Softmax,
+          AttentionType::Unified}) {
+        VitEncoder encoder(cfg, makeAttention(type), 0x7777);
+        const Batch y = encoder.forwardBatch(x, pool);
+        T_CHECK(y.size() == x.size() && y.rows() == cfg.tokens &&
+                y.cols() == cfg.dModel);
+        // Bitwise parity with per-image execution: the per-image float
+        // program is shared between the two paths.
+        for (size_t b = 0; b < x.size(); ++b)
+            T_CHECK(y[b] == encoder.forward(x[b], pool));
+        // Recycled rerun stays identical.
+        T_CHECK(encoder.forwardBatch(x, pool) == y);
+    }
+
+    VitEncoder encoder(cfg, makeAttention(AttentionType::Taylor), 0x7777);
+    const Batch empty;
+    T_CHECK_THROWS(encoder.forwardBatch(empty, pool),
+                   std::invalid_argument);
+    const Batch wrong = Batch::randn(2, cfg.tokens + 1, cfg.dModel, rng);
+    T_CHECK_THROWS(encoder.forwardBatch(wrong, pool),
+                   std::invalid_argument);
+}
+
+/**
+ * A kernel whose forwardInto blocks until released, so the test can hold
+ * one encoder forward in flight while probing the concurrent-call guard.
+ */
+class BlockingKernel : public AttentionKernel
+{
+  public:
+    AttentionType type() const override { return AttentionType::Softmax; }
+    std::string name() const override { return "Blocking"; }
+
+    Matrix forward(const Matrix &, const Matrix &,
+                   const Matrix &v) const override
+    {
+        return v;
+    }
+
+    void forwardInto(AttentionContext &, const Matrix &, const Matrix &,
+                     const Matrix &v, Matrix &out) const override
+    {
+        std::unique_lock<std::mutex> lock(m);
+        entered = true;
+        cv.notify_all();
+        cv.wait(lock, [this] { return released; });
+        out.copyFrom(v);
+    }
+
+    OpCounts opCounts(size_t, size_t) const override { return {}; }
+    std::vector<ProcessorKind> processors() const override { return {}; }
+
+    void waitEntered() const
+    {
+        std::unique_lock<std::mutex> lock(m);
+        cv.wait(lock, [this] { return entered; });
+    }
+
+    void release() const
+    {
+        {
+            std::lock_guard<std::mutex> lock(m);
+            released = true;
+        }
+        cv.notify_all();
+    }
+
+  private:
+    mutable std::mutex m;
+    mutable std::condition_variable cv;
+    mutable bool entered = false;
+    mutable bool released = false;
+};
+
+void
+testEncoderRejectsConcurrentCalls()
+{
+    // The encoder's activation buffers are per instance: a second
+    // forward while one is in flight must be refused, not silently
+    // corrupt them. The blocking kernel parks the first call inside the
+    // attention phase of layer 0.
+    const VitConfig cfg{"Test-Tiny", 1, 1, 8, 5, 16};
+    auto kernel = std::make_shared<BlockingKernel>();
+    VitEncoder encoder(cfg, kernel, 0x2222);
+    ThreadPool pool(2);
+    Rng rng(0x3455);
+    const Matrix x = Matrix::randn(cfg.tokens, cfg.dModel, rng);
+    const Batch xb = Batch::randn(2, cfg.tokens, cfg.dModel, rng);
+
+    std::thread first([&] { (void)encoder.forward(x, pool); });
+    kernel->waitEntered();
+
+    Matrix out;
+    T_CHECK_THROWS(encoder.forwardInto(x, pool, out), std::logic_error);
+    Batch bout;
+    T_CHECK_THROWS(encoder.forwardBatchInto(xb, pool, bout),
+                   std::logic_error);
+
+    kernel->release();
+    first.join();
+
+    // Once the first call drains, the instance is usable again.
+    encoder.forwardInto(x, pool, out);
+    T_CHECK(out.rows() == cfg.tokens && out.cols() == cfg.dModel);
+}
+
+void
+testDeitTinyBatchParity()
+{
+    // One real-preset spot check: DeiT-Tiny, Taylor, B=2.
+    const VitConfig cfg = VitConfig::deitTiny();
+    Rng rng(0x3433);
+    const Batch x = Batch::randn(2, cfg.tokens, cfg.dModel, rng);
+    ThreadPool pool(4);
+    VitEncoder encoder(cfg, makeAttention(AttentionType::Taylor), 0x1234);
+    const Batch y = encoder.forwardBatch(x, pool);
+    for (size_t b = 0; b < x.size(); ++b)
+        T_CHECK(y[b] == encoder.forward(x[b], pool));
+}
+
 } // namespace
 
 int
@@ -116,5 +253,8 @@ main()
     testPresets();
     testDeitTinyEndToEnd();
     testOpCountRollup();
+    testEncoderBatchMatchesPerImage();
+    testEncoderRejectsConcurrentCalls();
+    testDeitTinyBatchParity();
     return vitality::testing::finish("test_model");
 }

@@ -1,17 +1,24 @@
 /**
  * @file
  * Runtime-layer tests: ThreadPool scheduling and exception propagation,
- * and MultiHeadAttention's pooled path against both its own sequential
- * reference and a hand-rolled per-head loop over the legacy forward().
+ * MultiHeadAttention's pooled path against both its own sequential
+ * reference and a hand-rolled per-head loop over the legacy forward(),
+ * the batched (B x heads) dispatch against per-image execution, the
+ * concurrent-caller guard, and degenerate-shape rejection.
  */
 
 #include <atomic>
+#include <condition_variable>
+#include <mutex>
 #include <stdexcept>
+#include <thread>
+#include <vector>
 
 #include "attention/zoo.h"
 #include "base/rng.h"
 #include "runtime/multi_head_attention.h"
 #include "runtime/thread_pool.h"
+#include "tensor/batch.h"
 #include "tensor/ops.h"
 #include "testing.h"
 
@@ -140,6 +147,161 @@ testMultiHeadShapeValidation()
                    std::invalid_argument);
     T_CHECK_THROWS(MultiHeadAttention(kernel, 0), std::invalid_argument);
     T_CHECK_THROWS(MultiHeadAttention(nullptr, 2), std::invalid_argument);
+
+    // Degenerate packed inputs are rejected loudly instead of silently
+    // producing empty output: zero tokens and zero width (d_h = 0 —
+    // 0 % heads == 0, so the divisibility check alone would pass it).
+    const Matrix no_tokens(0, 12);
+    T_CHECK_THROWS(mha.forward(pool, no_tokens, no_tokens, no_tokens),
+                   std::invalid_argument);
+    const Matrix no_width(8, 0);
+    T_CHECK_THROWS(mha.forward(pool, no_width, no_width, no_width),
+                   std::invalid_argument);
+    // Empty keys with non-empty queries likewise.
+    const Matrix good_q = Matrix::randn(8, 12, rng);
+    const Matrix no_kv(0, 12);
+    T_CHECK_THROWS(mha.forward(pool, good_q, no_kv, no_kv),
+                   std::invalid_argument);
+}
+
+void
+testMultiHeadBatchMatchesPerImage()
+{
+    const size_t n = 23, heads = 3, dh = 8, dm = heads * dh, images = 4;
+    Rng rng(0x99d4);
+    const Batch qb = Batch::randn(images, n, dm, rng, 0.0f, 0.5f);
+    const Batch kb = Batch::randn(images, n, dm, rng, 0.0f, 0.5f);
+    const Batch vb = Batch::randn(images, n, dm, rng);
+
+    ThreadPool pool(4);
+    for (AttentionType type :
+         {AttentionType::Softmax, AttentionType::Taylor,
+          AttentionType::Unified}) {
+        MultiHeadAttention mha(makeAttention(type), heads);
+
+        // Batched output is bitwise-identical to B per-image forwards.
+        const Batch out = mha.forwardBatch(pool, qb, kb, vb);
+        T_CHECK(out.size() == images && out.rows() == n &&
+                out.cols() == dm);
+        for (size_t b = 0; b < images; ++b) {
+            const Matrix ref = mha.forward(pool, qb[b], kb[b], vb[b]);
+            T_CHECK(out[b] == ref);
+        }
+
+        // And to the sequential batch reference.
+        const Batch seq = mha.forwardBatchSequential(qb, kb, vb);
+        T_CHECK(out == seq);
+
+        // Recycled rerun stays identical.
+        const Batch out2 = mha.forwardBatch(pool, qb, kb, vb);
+        T_CHECK(out == out2);
+    }
+}
+
+void
+testMultiHeadBatchShapeValidation()
+{
+    ThreadPool pool(2);
+    MultiHeadAttention mha(makeAttention(AttentionType::Taylor), 2);
+    Rng rng(0x99e5);
+    const Batch q = Batch::randn(3, 9, 8, rng);
+    const Batch k = Batch::randn(2, 9, 8, rng); // batch size mismatch
+    T_CHECK_THROWS(mha.forwardBatch(pool, q, k, k),
+                   std::invalid_argument);
+    const Batch empty;
+    T_CHECK_THROWS(mha.forwardBatch(pool, empty, empty, empty),
+                   std::invalid_argument);
+
+    // An image reshaped behind the Batch's back is caught on entry.
+    Batch broken = Batch::randn(3, 9, 8, rng);
+    broken[1].resize(7, 8);
+    const Batch v = Batch::randn(3, 9, 8, rng);
+    T_CHECK_THROWS(mha.forwardBatch(pool, broken, v, v),
+                   std::invalid_argument);
+}
+
+/**
+ * A kernel whose forwardInto blocks until released, so the test can hold
+ * one forward call in flight while probing the concurrent-caller guard.
+ */
+class BlockingKernel : public AttentionKernel
+{
+  public:
+    AttentionType type() const override { return AttentionType::Softmax; }
+    std::string name() const override { return "Blocking"; }
+
+    Matrix forward(const Matrix &, const Matrix &,
+                   const Matrix &v) const override
+    {
+        return v;
+    }
+
+    void forwardInto(AttentionContext &, const Matrix &, const Matrix &,
+                     const Matrix &v, Matrix &out) const override
+    {
+        std::unique_lock<std::mutex> lock(m);
+        entered = true;
+        cv.notify_all();
+        cv.wait(lock, [this] { return released; });
+        out.copyFrom(v);
+    }
+
+    OpCounts opCounts(size_t, size_t) const override { return {}; }
+    std::vector<ProcessorKind> processors() const override { return {}; }
+
+    void waitEntered() const
+    {
+        std::unique_lock<std::mutex> lock(m);
+        cv.wait(lock, [this] { return entered; });
+    }
+
+    void release() const
+    {
+        {
+            std::lock_guard<std::mutex> lock(m);
+            released = true;
+        }
+        cv.notify_all();
+    }
+
+  private:
+    mutable std::mutex m;
+    mutable std::condition_variable cv;
+    mutable bool entered = false;
+    mutable bool released = false;
+};
+
+void
+testMultiHeadRejectsConcurrentCalls()
+{
+    auto kernel = std::make_shared<BlockingKernel>();
+    MultiHeadAttention mha(kernel, 1);
+    ThreadPool pool(2);
+    Rng rng(0x99f6);
+    const Matrix q = Matrix::randn(4, 8, rng);
+
+    // First call parks inside the kernel on a pool worker...
+    std::thread first([&] {
+        Matrix out;
+        mha.forwardInto(pool, q, q, q, out);
+    });
+    kernel->waitEntered();
+
+    // ...so a second call on the same instance must be refused rather
+    // than silently sharing the per-worker contexts.
+    Matrix out2;
+    T_CHECK_THROWS(mha.forwardInto(pool, q, q, q, out2),
+                   std::logic_error);
+    T_CHECK_THROWS(mha.forwardSequentialInto(q, q, q, out2),
+                   std::logic_error);
+
+    kernel->release();
+    first.join();
+
+    // Once the first call drains, the instance is usable again.
+    Matrix out3;
+    mha.forwardInto(pool, q, q, q, out3);
+    T_CHECK(out3 == q);
 }
 
 } // namespace
@@ -152,5 +314,8 @@ main()
     testMultiHeadMatchesSequentialAndLegacy();
     testMultiHeadDeterministicAcrossPoolSizes();
     testMultiHeadShapeValidation();
+    testMultiHeadBatchMatchesPerImage();
+    testMultiHeadBatchShapeValidation();
+    testMultiHeadRejectsConcurrentCalls();
     return vitality::testing::finish("test_runtime");
 }
