@@ -4,19 +4,25 @@
  * unified) at the DeiT-Tiny/Small/Base shapes, batch sizes {1, 4, 16}.
  *
  * For each (model, kernel, batch) triple the bench runs the pooled
- * batched multi-head forward over packed inputs and reports mean
- * wall-clock per batch, per-image throughput, and the analytic per-image
- * OpCounts. Results are appended as one timestamped, git-SHA-keyed entry
- * to a trajectory JSON (an array of runs), so BENCH_attention.json
- * accumulates history across PRs instead of being overwritten. A legacy
- * single-snapshot file (the pre-trajectory format, one JSON object) is
- * wrapped into the array on first append.
+ * batched multi-head forward over packed inputs and reports mean and
+ * median wall-clock per batch, per-image throughput, achieved GFLOP/s
+ * (analytic per-image FLOPs x batch / median wall), and the analytic
+ * per-image OpCounts. The entry also records which GEMM backend was
+ * active (gemm_backend: "avx2" or "scalar" — see tensor/gemm.h; override
+ * with VITALITY_GEMM to compare). Results are appended as one
+ * timestamped, git-SHA-keyed entry to a trajectory JSON (an array of
+ * runs), so BENCH_attention.json accumulates history across PRs instead
+ * of being overwritten. A legacy single-snapshot file (the
+ * pre-trajectory format, one JSON object) is wrapped into the array on
+ * first append.
  *
  * Usage: bench_attention [reps] [trajectory.json]
  *   reps             repetitions per triple after one warmup (default 3)
  *   trajectory.json  append the run entry there (stdout always gets it)
  *
- * The git SHA is taken from $GITHUB_SHA (set by CI), then $BENCH_GIT_SHA,
+ * The git SHA is taken from $BENCH_GIT_SHA (the explicit override — CI
+ * sets it to the pull request's head SHA, because $GITHUB_SHA points at
+ * the synthetic merge commit on pull_request events), then $GITHUB_SHA,
  * then `git rev-parse HEAD`, else "unknown".
  */
 
@@ -39,6 +45,7 @@
 #include "runtime/multi_head_attention.h"
 #include "runtime/thread_pool.h"
 #include "tensor/batch.h"
+#include "tensor/gemm.h"
 #include "tensor/matrix.h"
 
 using namespace vitality;
@@ -61,14 +68,31 @@ struct Result
     size_t tokens, heads, headDim, batch;
     int reps;
     double wallMsMean;   // per batch invocation
-    double imagesPerSec; // batch / wall seconds
+    double wallMsMedian; // per batch invocation, median of reps
+    double imagesPerSec; // batch / median wall seconds
+    double gflopsPerSec; // analytic flops x batch / median wall
     OpCounts counts;     // per image (all heads, one layer)
 };
+
+/** Median of a (small) sample; v is reordered. */
+double
+median(std::vector<double> &v)
+{
+    if (v.empty())
+        return 0.0;
+    std::sort(v.begin(), v.end());
+    const size_t mid = v.size() / 2;
+    return v.size() % 2 ? v[mid] : 0.5 * (v[mid - 1] + v[mid]);
+}
 
 std::string
 gitSha()
 {
-    for (const char *var : {"GITHUB_SHA", "BENCH_GIT_SHA"}) {
+    // BENCH_GIT_SHA first: it is the explicit override, and on
+    // pull_request events CI points it at the PR head commit while
+    // GITHUB_SHA names the synthetic merge ref nobody can check out
+    // later.
+    for (const char *var : {"BENCH_GIT_SHA", "GITHUB_SHA"}) {
         const char *env = std::getenv(var);
         if (env && *env)
             return env;
@@ -116,6 +140,7 @@ entryJson(const std::vector<Result> &results, size_t pool_threads)
     os << "  \"timestamp\": \"" << isoUtc(now) << "\",\n";
     os << "  \"unix_time\": " << static_cast<long long>(now) << ",\n";
     os << "  \"pool_threads\": " << pool_threads << ",\n";
+    os << "  \"gemm_backend\": \"" << Gemm::activeName() << "\",\n";
     os << "  \"results\": [\n";
     for (size_t i = 0; i < results.size(); ++i) {
         const Result &r = results[i];
@@ -125,7 +150,9 @@ entryJson(const std::vector<Result> &results, size_t pool_threads)
            << ", \"head_dim\": " << r.headDim
            << ", \"batch\": " << r.batch << ", \"reps\": " << r.reps
            << ", \"wall_ms_mean\": " << r.wallMsMean
+           << ", \"wall_ms_median\": " << r.wallMsMedian
            << ", \"images_per_s\": " << r.imagesPerSec
+           << ", \"gflops_per_s\": " << r.gflopsPerSec
            << ", \"gflops_per_image\": "
            << static_cast<double>(r.counts.flops()) * 1e-9
            << ", \"ops_per_image\": {\"mul\": " << r.counts.mul
@@ -220,6 +247,8 @@ main(int argc, char **argv)
         *std::max_element(batchSizes.begin(), batchSizes.end());
 
     ThreadPool pool;
+    inform("gemm backend: %s (override with VITALITY_GEMM=scalar|avx2)",
+           Gemm::activeName());
     std::vector<Result> results;
     for (const VitConfig &cfg : models) {
         Rng rng(0xbe9c ^ cfg.dModel);
@@ -264,10 +293,17 @@ main(int argc, char **argv)
                 Batch out;
                 mha.forwardBatchInto(pool, q, k, v, out); // warmup
 
-                const double t0 = nowMs();
-                for (int r = 0; r < reps; ++r)
+                std::vector<double> laps(static_cast<size_t>(reps));
+                for (int r = 0; r < reps; ++r) {
+                    const double t0 = nowMs();
                     mha.forwardBatchInto(pool, q, k, v, out);
-                const double per_rep = (nowMs() - t0) / reps;
+                    laps[static_cast<size_t>(r)] = nowMs() - t0;
+                }
+                double mean_ms = 0.0;
+                for (double lap : laps)
+                    mean_ms += lap;
+                mean_ms /= reps;
+                const double median_ms = median(laps);
 
                 Result res;
                 res.model = cfg.name;
@@ -277,17 +313,25 @@ main(int argc, char **argv)
                 res.headDim = cfg.headDim();
                 res.batch = batch;
                 res.reps = reps;
-                res.wallMsMean = per_rep;
+                res.wallMsMean = mean_ms;
+                res.wallMsMedian = median_ms;
                 res.imagesPerSec =
-                    per_rep > 0.0
-                        ? static_cast<double>(batch) / (per_rep * 1e-3)
+                    median_ms > 0.0
+                        ? static_cast<double>(batch) / (median_ms * 1e-3)
                         : 0.0;
                 res.counts = mha.opCounts(cfg.tokens, cfg.dModel);
+                res.gflopsPerSec =
+                    median_ms > 0.0
+                        ? static_cast<double>(res.counts.flops()) *
+                              static_cast<double>(batch) /
+                              (median_ms * 1e6)
+                        : 0.0;
                 results.push_back(res);
 
-                inform("%-10s %-14s B=%-2zu %8.3f ms/batch  %8.1f img/s",
+                inform("%-10s %-14s B=%-2zu %8.3f ms/batch  %8.1f img/s"
+                       "  %7.2f GFLOP/s",
                        cfg.name.c_str(), kernel->name().c_str(), batch,
-                       per_rep, res.imagesPerSec);
+                       median_ms, res.imagesPerSec, res.gflopsPerSec);
             }
         }
     }

@@ -1,0 +1,145 @@
+#!/usr/bin/env python3
+"""Bench-regression gate for BENCH_attention.json-style trajectories.
+
+Compares the newest run entry against prior *comparable* entries and
+fails (exit 1) if median wall-clock latency regressed by more than the
+threshold (default +20%) at any (model, kernel, batch) shape present in
+both. Two entries are comparable when their gemm_backend and
+pool_threads match: a scalar run is expected to be slower than an avx2
+run, and wall-clock from a machine with a different core count is
+hardware signal, not code signal — flagging either would just train
+people to ignore the gate. (Legacy entries predating those fields only
+compare against each other.)
+
+The newest entry is gated pairwise against
+  - the most recent comparable prior entry (run-over-run regressions),
+  - and the oldest comparable entry in the file (slow creep that stays
+    under the threshold per run but compounds across the window).
+
+With --fold-latest-from SRC, the newest entry of SRC is first appended
+to the target trajectory, which is trimmed to --keep entries and
+written back. CI uses this to maintain a runner-local baseline carried
+between runs via the actions cache; the baseline is only persisted when
+the gate passes, so a flagged regression cannot grandfather itself into
+the next run's baseline.
+
+Metric: wall_ms_median, falling back to wall_ms_mean for legacy entries
+that predate the median column.
+
+Usage: check_bench_regression.py [trajectory.json] [--threshold 1.20]
+           [--fold-latest-from SRC] [--keep 10]
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def load_trajectory(path):
+    with open(path) as fh:
+        data = json.load(fh)
+    return data if isinstance(data, list) else [data]
+
+
+def comparable(old, new):
+    return (old.get("gemm_backend") == new.get("gemm_backend")
+            and old.get("pool_threads") == new.get("pool_threads"))
+
+
+def keyed_results(entry):
+    out = {}
+    for r in entry.get("results", []):
+        key = (r.get("model"), r.get("kernel"), r.get("batch"))
+        wall = r.get("wall_ms_median", r.get("wall_ms_mean"))
+        if None not in key and wall is not None:
+            out[key] = float(wall)
+    return out
+
+
+def compare(old, new, threshold, label):
+    """Print the per-shape ratio table; return the regressed keys."""
+    old_results = keyed_results(old)
+    new_results = keyed_results(new)
+    shared = sorted(set(old_results) & set(new_results))
+    if not shared:
+        print(f"bench-regression [{label}]: no shared "
+              f"(model, kernel, batch) shapes; nothing to compare")
+        return []
+
+    print(f"bench-regression [{label}]: {old.get('sha', '?')[:12]} -> "
+          f"{new.get('sha', '?')[:12]} (backend "
+          f"{new.get('gemm_backend')!r}, threshold {threshold:.2f}x)")
+    failures = []
+    for key in shared:
+        model, kernel, batch = key
+        ratio = new_results[key] / old_results[key] if old_results[key] else 1.0
+        flag = ""
+        if ratio > threshold:
+            failures.append(key)
+            flag = "  <-- REGRESSION"
+        print(f"  {model:<12} {kernel:<16} B={batch:<3} "
+              f"{old_results[key]:9.3f} -> {new_results[key]:9.3f} ms "
+              f"({ratio:5.2f}x){flag}")
+    return failures
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("trajectory", nargs="?", default="BENCH_attention.json")
+    ap.add_argument("--threshold", type=float, default=1.20,
+                    help="fail when new/old exceeds this ratio")
+    ap.add_argument("--fold-latest-from", metavar="SRC",
+                    help="append SRC's newest entry to the trajectory "
+                         "(creating it if missing) before gating")
+    ap.add_argument("--keep", type=int, default=10,
+                    help="entries retained when folding (default 10)")
+    args = ap.parse_args()
+
+    if args.fold_latest_from:
+        src = load_trajectory(args.fold_latest_from)
+        if not src:
+            print(f"bench-regression: {args.fold_latest_from} holds no "
+                  f"entries; did the bench step run?")
+            return 1
+        data = (load_trajectory(args.trajectory)
+                if os.path.exists(args.trajectory) else [])
+        data.append(src[-1])
+        data = data[-args.keep:]
+        with open(args.trajectory, "w") as fh:
+            json.dump(data, fh, indent=1)
+        print(f"bench-regression: folded newest entry of "
+              f"{args.fold_latest_from} into {args.trajectory} "
+              f"({len(data)} entries retained)")
+    else:
+        data = load_trajectory(args.trajectory)
+
+    if len(data) < 2:
+        print("bench-regression: fewer than two trajectory entries; "
+              "nothing to compare")
+        return 0
+
+    new = data[-1]
+    priors = [e for e in data[:-1] if comparable(e, new)]
+    if not priors:
+        print(f"bench-regression: no prior entry matches backend "
+              f"{new.get('gemm_backend')!r} / pool_threads "
+              f"{new.get('pool_threads')!r}; entries are from a "
+              f"different configuration or machine, skipping")
+        return 0
+
+    failures = compare(priors[-1], new, args.threshold, "vs previous")
+    if priors[0] is not priors[-1]:
+        failures += compare(priors[0], new, args.threshold,
+                            "vs oldest in window")
+
+    if failures:
+        print(f"bench-regression: {len(failures)} comparison(s) regressed "
+              f"more than {(args.threshold - 1) * 100:.0f}%")
+        return 1
+    print("bench-regression: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

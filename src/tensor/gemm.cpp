@@ -1,0 +1,297 @@
+#include "tensor/gemm.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "base/logging.h"
+
+namespace vitality {
+
+namespace detail {
+
+#if VITALITY_HAVE_AVX2
+// Defined in gemm_avx2.cpp, compiled with -mavx2 -mfma. Must only be
+// called after a runtime CPUID check: the whole translation unit is
+// built for the AVX2 ISA.
+void gemmAvx2(Matrix &dst, const Matrix &a, const Matrix &b,
+              Gemm::Trans trans);
+#endif
+
+} // namespace detail
+
+namespace {
+
+// Block size for the scalar cache-tiled loops. 64 floats = 256 bytes
+// per row strip, keeping three blocks comfortably within L1.
+constexpr size_t kBlock = 64;
+
+/** op(X) dimensions: rows(op(A)) x cols(op(A)) = m x k, op(B) = k x n. */
+struct GemmDims
+{
+    size_t m, n, k;
+};
+
+GemmDims
+checkedDims(const Matrix &a, const Matrix &b, Gemm::Trans trans)
+{
+    switch (trans) {
+    case Gemm::Trans::None:
+        if (a.cols() != b.rows()) {
+            throw std::invalid_argument(
+                strfmt("matmul: inner dims differ, %s vs %s",
+                       a.shapeStr().c_str(), b.shapeStr().c_str()));
+        }
+        return {a.rows(), b.cols(), a.cols()};
+    case Gemm::Trans::A:
+        if (a.rows() != b.rows()) {
+            throw std::invalid_argument(
+                strfmt("matmulAT: inner dims differ, %s^T vs %s",
+                       a.shapeStr().c_str(), b.shapeStr().c_str()));
+        }
+        return {a.cols(), b.cols(), a.rows()};
+    case Gemm::Trans::B:
+        if (a.cols() != b.cols()) {
+            throw std::invalid_argument(
+                strfmt("matmulBT: inner dims differ, %s vs %s^T",
+                       a.shapeStr().c_str(), b.shapeStr().c_str()));
+        }
+        return {a.rows(), b.rows(), a.cols()};
+    }
+    throw std::invalid_argument("gemm: unknown transpose mode");
+}
+
+// The scalar reference backend: the original cache-blocked loops. Every
+// variant accumulates each output element over k in ascending order, the
+// order the AVX2 microkernel reproduces (see the tolerance note in
+// gemm.h).
+
+void
+scalarNone(Matrix &dst, const Matrix &a, const Matrix &b)
+{
+    const size_t m = a.rows(), k = a.cols(), n = b.cols();
+    dst.fill(0.0f);
+    // Blocked i-k-j order: the innermost loop streams contiguous rows of
+    // B and C, which vectorizes well.
+    for (size_t i0 = 0; i0 < m; i0 += kBlock) {
+        const size_t i1 = std::min(i0 + kBlock, m);
+        for (size_t k0 = 0; k0 < k; k0 += kBlock) {
+            const size_t k1 = std::min(k0 + kBlock, k);
+            for (size_t i = i0; i < i1; ++i) {
+                const float *arow = a.rowPtr(i);
+                float *crow = dst.rowPtr(i);
+                for (size_t kk = k0; kk < k1; ++kk) {
+                    const float aik = arow[kk];
+                    const float *brow = b.rowPtr(kk);
+                    for (size_t j = 0; j < n; ++j)
+                        crow[j] += aik * brow[j];
+                }
+            }
+        }
+    }
+}
+
+void
+scalarTransB(Matrix &dst, const Matrix &a, const Matrix &b)
+{
+    const size_t m = a.rows(), k = a.cols(), n = b.rows();
+    // Row-by-row dot products: both operands stream contiguously.
+    for (size_t i = 0; i < m; ++i) {
+        const float *arow = a.rowPtr(i);
+        float *crow = dst.rowPtr(i);
+        for (size_t j = 0; j < n; ++j) {
+            const float *brow = b.rowPtr(j);
+            float acc = 0.0f;
+            for (size_t kk = 0; kk < k; ++kk)
+                acc += arow[kk] * brow[kk];
+            crow[j] = acc;
+        }
+    }
+}
+
+void
+scalarTransA(Matrix &dst, const Matrix &a, const Matrix &b)
+{
+    const size_t m = a.cols(), k = a.rows(), n = b.cols();
+    dst.fill(0.0f);
+    // Accumulate rank-1 updates: for each shared row kk, C += a_kk^T b_kk.
+    for (size_t kk = 0; kk < k; ++kk) {
+        const float *arow = a.rowPtr(kk);
+        const float *brow = b.rowPtr(kk);
+        for (size_t i = 0; i < m; ++i) {
+            const float aki = arow[i];
+            float *crow = dst.rowPtr(i);
+            for (size_t j = 0; j < n; ++j)
+                crow[j] += aki * brow[j];
+        }
+    }
+}
+
+void
+gemmScalar(Matrix &dst, const Matrix &a, const Matrix &b,
+           Gemm::Trans trans)
+{
+    switch (trans) {
+    case Gemm::Trans::None:
+        scalarNone(dst, a, b);
+        return;
+    case Gemm::Trans::A:
+        scalarTransA(dst, a, b);
+        return;
+    case Gemm::Trans::B:
+        scalarTransB(dst, a, b);
+        return;
+    }
+}
+
+bool
+cpuHasAvx2Fma()
+{
+#if VITALITY_HAVE_AVX2 && (defined(__x86_64__) || defined(__i386__))
+    return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+    return false;
+#endif
+}
+
+Gemm::Backend
+resolveDefault()
+{
+    const Gemm::Backend best = Gemm::available(Gemm::Backend::Avx2)
+                                   ? Gemm::Backend::Avx2
+                                   : Gemm::Backend::Scalar;
+    const char *env = std::getenv("VITALITY_GEMM");
+    if (!env || !*env)
+        return best;
+    const std::optional<Gemm::Backend> wanted = Gemm::parseBackend(env);
+    if (!wanted) {
+        warn("VITALITY_GEMM=%s not recognized (want scalar|avx2); "
+             "using %s",
+             env, Gemm::backendName(best));
+        return best;
+    }
+    if (!Gemm::available(*wanted)) {
+        warn("VITALITY_GEMM=%s requested but unavailable here; using %s",
+             env, Gemm::backendName(best));
+        return best;
+    }
+    return *wanted;
+}
+
+// -1 = unresolved; otherwise holds a Backend value. Resolved lazily so
+// the env override applies no matter when the first multiply happens.
+std::atomic<int> g_active{-1};
+
+} // namespace
+
+void
+Gemm::multiply(Matrix &dst, const Matrix &a, const Matrix &b, Trans trans)
+{
+    multiply(dst, a, b, trans, active());
+}
+
+void
+Gemm::multiply(Matrix &dst, const Matrix &a, const Matrix &b, Trans trans,
+               Backend backend)
+{
+    // Guard the explicit-backend path too: without this, requesting
+    // Avx2 on a host without the ISA would reach the microkernel and
+    // die on an illegal instruction instead of throwing as documented.
+    if (!available(backend)) {
+        throw std::invalid_argument(
+            strfmt("gemm: backend %s is not available on this host",
+                   backendName(backend)));
+    }
+    const GemmDims dims = checkedDims(a, b, trans);
+    // Matrix always owns its storage, so object identity is the only
+    // possible aliasing.
+    if (&dst == &a || &dst == &b)
+        throw std::invalid_argument("gemm: dst must not alias an input");
+    dst.resize(dims.m, dims.n);
+    if (dims.m == 0 || dims.n == 0)
+        return;
+    if (dims.k == 0) {
+        dst.fill(0.0f);
+        return;
+    }
+    switch (backend) {
+    case Backend::Scalar:
+        gemmScalar(dst, a, b, trans);
+        return;
+    case Backend::Avx2:
+#if VITALITY_HAVE_AVX2
+        detail::gemmAvx2(dst, a, b, trans);
+        return;
+#else
+        throw std::invalid_argument(
+            "gemm: AVX2 backend not compiled in "
+            "(build with -DVITALITY_ENABLE_AVX2=ON)");
+#endif
+    }
+    throw std::invalid_argument("gemm: unknown backend");
+}
+
+Gemm::Backend
+Gemm::active()
+{
+    int cur = g_active.load(std::memory_order_acquire);
+    if (cur < 0) {
+        const Backend resolved = resolveDefault();
+        // Several threads may race the first resolution; they all
+        // compute the same value, so the first store wins harmlessly.
+        int expected = -1;
+        g_active.compare_exchange_strong(expected,
+                                         static_cast<int>(resolved),
+                                         std::memory_order_acq_rel);
+        cur = g_active.load(std::memory_order_acquire);
+    }
+    return static_cast<Backend>(cur);
+}
+
+void
+Gemm::setActive(Backend backend)
+{
+    if (!available(backend)) {
+        throw std::invalid_argument(
+            strfmt("gemm: backend %s is not available on this host",
+                   backendName(backend)));
+    }
+    g_active.store(static_cast<int>(backend), std::memory_order_release);
+}
+
+bool
+Gemm::available(Backend backend)
+{
+    switch (backend) {
+    case Backend::Scalar:
+        return true;
+    case Backend::Avx2:
+        return cpuHasAvx2Fma();
+    }
+    return false;
+}
+
+const char *
+Gemm::backendName(Backend backend)
+{
+    switch (backend) {
+    case Backend::Scalar:
+        return "scalar";
+    case Backend::Avx2:
+        return "avx2";
+    }
+    return "unknown";
+}
+
+std::optional<Gemm::Backend>
+Gemm::parseBackend(const std::string &name)
+{
+    if (name == "scalar")
+        return Backend::Scalar;
+    if (name == "avx2")
+        return Backend::Avx2;
+    return std::nullopt;
+}
+
+} // namespace vitality

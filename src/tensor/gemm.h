@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Runtime-dispatched GEMM: the single entry point every matmul in the
+ * library funnels through.
+ *
+ * ViTALiTy's Taylor branch turns attention into dense low-rank GEMMs, so
+ * this kernel is the whole hot path. Gemm::multiply computes
+ *
+ *   C = op(A) * op(B)      op in {none, transpose-A, transpose-B}
+ *
+ * and dispatches to one of two backends:
+ *
+ *   - Scalar: the portable cache-blocked loops (always compiled, always
+ *     available — the reference implementation).
+ *   - Avx2:   a 6x16 register-blocked AVX2+FMA microkernel over packed
+ *     A/B panels staged in a thread-local Workspace arena, compiled only
+ *     when the build enables it (-DVITALITY_ENABLE_AVX2=ON, the default)
+ *     and selected only when CPUID reports AVX2 and FMA support.
+ *
+ * The default backend is resolved once per process: the VITALITY_GEMM
+ * environment variable ("scalar" or "avx2") wins if set and available,
+ * otherwise the best available backend is used. setActive() overrides
+ * the choice at runtime (used by tests and benches to compare backends);
+ * the per-call Backend overload bypasses the process default entirely.
+ *
+ * Numerical contract (the documented cross-backend tolerance): both
+ * backends accumulate every output element as a single running sum over
+ * k in ascending order, so they differ only in rounding — the AVX2 path
+ * uses fused multiply-add (one rounding per step) where the scalar path
+ * rounds the product and the sum separately. Per element the standard
+ * forward-error bound applies to each backend:
+ *
+ *   |c_computed - c_exact| <= k * eps * sum_k |a_ik| * |b_kj|
+ *
+ * with eps = FLT_EPSILON, so two backends can differ by at most twice
+ * that bound (in practice a few ulps). The bound test_gemm enforces
+ * per element, against a float64 reference, is exactly
+ *
+ *   2 * (k + 1) * eps * sum_k |a_ik| * |b_kj|  +  1e-7
+ *
+ * (the factor 2 covers the reference's own rounding, the absolute
+ * 1e-7 floors the bound for tiny or cancelling dot products); a
+ * backend whose error exceeds that fails CI. Whole-model outputs
+ * agree across backends to 1e-3 max-abs-diff (also asserted). Each
+ * backend on its own is fully deterministic.
+ *
+ * Thread-safety: multiply() is safe to call from any number of threads
+ * concurrently (the packing arena is thread-local, so the steady state
+ * stays allocation-free per worker, matching the AttentionContext
+ * design). setActive() is not synchronized with in-flight multiplies
+ * and is meant for test/bench setup points.
+ */
+
+#ifndef VITALITY_TENSOR_GEMM_H
+#define VITALITY_TENSOR_GEMM_H
+
+#include <optional>
+#include <string>
+
+#include "tensor/matrix.h"
+
+namespace vitality {
+
+class Gemm
+{
+  public:
+    enum class Backend
+    {
+        Scalar, ///< Portable cache-blocked loops; always available.
+        Avx2,   ///< 6x16 AVX2+FMA microkernel over packed panels.
+    };
+
+    /** Which operand multiply() transposes (never materialized). */
+    enum class Trans
+    {
+        None, ///< C = A * B         (A m x k, B k x n)
+        A,    ///< C = A^T * B       (A k x m, B k x n)
+        B,    ///< C = A * B^T       (A m x k, B n x k)
+    };
+
+    /**
+     * C = op(A) * op(B) on the active backend. dst is resized to m x n
+     * (recycling its storage) and fully overwritten. Shape mismatches
+     * and dst aliasing an input throw std::invalid_argument.
+     */
+    static void multiply(Matrix &dst, const Matrix &a, const Matrix &b,
+                         Trans trans = Trans::None);
+
+    /** Same, on an explicitly chosen backend (throws if unavailable). */
+    static void multiply(Matrix &dst, const Matrix &a, const Matrix &b,
+                         Trans trans, Backend backend);
+
+    /** The backend multiply() currently dispatches to. */
+    static Backend active();
+
+    /**
+     * Force the process-wide backend (test/bench hook). Throws
+     * std::invalid_argument if the backend is not available here.
+     */
+    static void setActive(Backend backend);
+
+    /** True if the backend is compiled in and supported by this CPU. */
+    static bool available(Backend backend);
+
+    /** "scalar" or "avx2". */
+    static const char *backendName(Backend backend);
+
+    /** Name of the active backend, for bench/trajectory reporting. */
+    static const char *activeName() { return backendName(active()); }
+
+    /** Parse a VITALITY_GEMM value; nullopt on unrecognized text. */
+    static std::optional<Backend> parseBackend(const std::string &name);
+};
+
+} // namespace vitality
+
+#endif // VITALITY_TENSOR_GEMM_H

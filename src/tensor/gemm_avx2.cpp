@@ -1,0 +1,214 @@
+/**
+ * @file
+ * AVX2+FMA GEMM backend: a 6x16 register-blocked microkernel over
+ * packed operand panels.
+ *
+ * This translation unit is compiled with -mavx2 -mfma and is only ever
+ * entered after Gemm's runtime CPUID check, so it may use the AVX2 ISA
+ * freely. The classic BLIS-style structure, sized for this workload
+ * (attention-shaped GEMMs, k up to a few thousand):
+ *
+ *   - op(B) is packed once into k x 16 column panels, op(A) into 6 x k
+ *     row panels, both zero-padded to full panel width so the microkernel
+ *     never needs a ragged edge case. Panels live in a thread-local
+ *     Workspace arena: after the first call with a given shape profile
+ *     the packing buffers are recycled and the steady state performs no
+ *     heap allocations (matching the AttentionContext design).
+ *   - The microkernel holds a 6x16 tile of C in twelve ymm accumulators
+ *     and walks k in ascending order with two FMAs per row per step —
+ *     the same per-element accumulation order as the scalar backend, so
+ *     backends differ only by FMA rounding (see gemm.h).
+ *   - Full tiles store straight to C; edge tiles go through a 6x16
+ *     scratch tile and copy only the valid region, so C is never written
+ *     out of bounds.
+ *
+ * There is deliberately no k-blocking: one unbroken k sweep keeps the
+ * accumulation order identical to scalar, and the panels this workload
+ * produces (k <= ~3k, 16 floats wide) sit comfortably in L1/L2.
+ */
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <cstring>
+
+#include "tensor/gemm.h"
+#include "tensor/workspace.h"
+
+namespace vitality {
+namespace detail {
+
+namespace {
+
+constexpr size_t kMr = 6;  ///< Microkernel rows (A panel height).
+constexpr size_t kNr = 16; ///< Microkernel cols (B panel width, 2 ymm).
+
+/**
+ * Pack op(A) rows [i0, i0+rows) into a kMr x k panel, layout
+ * pa[kk * kMr + r], zero-padded to kMr rows.
+ */
+void
+packAPanel(float *pa, const Matrix &a, Gemm::Trans trans, size_t i0,
+           size_t rows, size_t k)
+{
+    if (trans == Gemm::Trans::A) {
+        // op(A)(i, kk) = a(kk, i): each kk reads kMr contiguous floats.
+        for (size_t kk = 0; kk < k; ++kk) {
+            const float *arow = a.rowPtr(kk) + i0;
+            float *dst = pa + kk * kMr;
+            size_t r = 0;
+            for (; r < rows; ++r)
+                dst[r] = arow[r];
+            for (; r < kMr; ++r)
+                dst[r] = 0.0f;
+        }
+        return;
+    }
+    // op(A)(i, kk) = a(i, kk): walk the panel's rows in parallel.
+    for (size_t kk = 0; kk < k; ++kk) {
+        float *dst = pa + kk * kMr;
+        size_t r = 0;
+        for (; r < rows; ++r)
+            dst[r] = a.rowPtr(i0 + r)[kk];
+        for (; r < kMr; ++r)
+            dst[r] = 0.0f;
+    }
+}
+
+/**
+ * Pack op(B) cols [j0, j0+cols) into a k x kNr panel, layout
+ * pb[kk * kNr + c], zero-padded to kNr cols.
+ */
+void
+packBPanel(float *pb, const Matrix &b, Gemm::Trans trans, size_t j0,
+           size_t cols, size_t k)
+{
+    if (trans == Gemm::Trans::B) {
+        // op(B)(kk, j) = b(j, kk): each packed column is a row of b.
+        for (size_t c = 0; c < cols; ++c) {
+            const float *brow = b.rowPtr(j0 + c);
+            for (size_t kk = 0; kk < k; ++kk)
+                pb[kk * kNr + c] = brow[kk];
+        }
+        for (size_t c = cols; c < kNr; ++c)
+            for (size_t kk = 0; kk < k; ++kk)
+                pb[kk * kNr + c] = 0.0f;
+        return;
+    }
+    // op(B)(kk, j) = b(kk, j): contiguous strips per kk.
+    for (size_t kk = 0; kk < k; ++kk) {
+        const float *brow = b.rowPtr(kk) + j0;
+        float *dst = pb + kk * kNr;
+        size_t c = 0;
+        for (; c < cols; ++c)
+            dst[c] = brow[c];
+        for (; c < kNr; ++c)
+            dst[c] = 0.0f;
+    }
+}
+
+/**
+ * C[0:6, 0:16] = A-panel * B-panel over k steps, C with row stride ldc.
+ * Twelve ymm accumulators, k ascending, FMA per step.
+ */
+void
+microKernel6x16(size_t k, const float *pa, const float *pb, float *c,
+                size_t ldc)
+{
+    __m256 acc00 = _mm256_setzero_ps(), acc01 = _mm256_setzero_ps();
+    __m256 acc10 = _mm256_setzero_ps(), acc11 = _mm256_setzero_ps();
+    __m256 acc20 = _mm256_setzero_ps(), acc21 = _mm256_setzero_ps();
+    __m256 acc30 = _mm256_setzero_ps(), acc31 = _mm256_setzero_ps();
+    __m256 acc40 = _mm256_setzero_ps(), acc41 = _mm256_setzero_ps();
+    __m256 acc50 = _mm256_setzero_ps(), acc51 = _mm256_setzero_ps();
+    for (size_t kk = 0; kk < k; ++kk) {
+        const __m256 b0 = _mm256_loadu_ps(pb + kk * kNr);
+        const __m256 b1 = _mm256_loadu_ps(pb + kk * kNr + 8);
+        const float *av = pa + kk * kMr;
+        __m256 ar;
+        ar = _mm256_broadcast_ss(av + 0);
+        acc00 = _mm256_fmadd_ps(ar, b0, acc00);
+        acc01 = _mm256_fmadd_ps(ar, b1, acc01);
+        ar = _mm256_broadcast_ss(av + 1);
+        acc10 = _mm256_fmadd_ps(ar, b0, acc10);
+        acc11 = _mm256_fmadd_ps(ar, b1, acc11);
+        ar = _mm256_broadcast_ss(av + 2);
+        acc20 = _mm256_fmadd_ps(ar, b0, acc20);
+        acc21 = _mm256_fmadd_ps(ar, b1, acc21);
+        ar = _mm256_broadcast_ss(av + 3);
+        acc30 = _mm256_fmadd_ps(ar, b0, acc30);
+        acc31 = _mm256_fmadd_ps(ar, b1, acc31);
+        ar = _mm256_broadcast_ss(av + 4);
+        acc40 = _mm256_fmadd_ps(ar, b0, acc40);
+        acc41 = _mm256_fmadd_ps(ar, b1, acc41);
+        ar = _mm256_broadcast_ss(av + 5);
+        acc50 = _mm256_fmadd_ps(ar, b0, acc50);
+        acc51 = _mm256_fmadd_ps(ar, b1, acc51);
+    }
+    _mm256_storeu_ps(c + 0 * ldc, acc00);
+    _mm256_storeu_ps(c + 0 * ldc + 8, acc01);
+    _mm256_storeu_ps(c + 1 * ldc, acc10);
+    _mm256_storeu_ps(c + 1 * ldc + 8, acc11);
+    _mm256_storeu_ps(c + 2 * ldc, acc20);
+    _mm256_storeu_ps(c + 2 * ldc + 8, acc21);
+    _mm256_storeu_ps(c + 3 * ldc, acc30);
+    _mm256_storeu_ps(c + 3 * ldc + 8, acc31);
+    _mm256_storeu_ps(c + 4 * ldc, acc40);
+    _mm256_storeu_ps(c + 4 * ldc + 8, acc41);
+    _mm256_storeu_ps(c + 5 * ldc, acc50);
+    _mm256_storeu_ps(c + 5 * ldc + 8, acc51);
+}
+
+} // namespace
+
+void
+gemmAvx2(Matrix &dst, const Matrix &a, const Matrix &b, Gemm::Trans trans)
+{
+    const size_t m = dst.rows(), n = dst.cols();
+    const size_t k = trans == Gemm::Trans::A ? a.rows() : a.cols();
+    const size_t mPanels = (m + kMr - 1) / kMr;
+    const size_t nPanels = (n + kNr - 1) / kNr;
+
+    // Gemm-private packing arena: per worker thread, recycled across
+    // calls, so hot-path multiplies allocate nothing in steady state.
+    // op(A) is packed whole (it is swept once per B panel); op(B) is
+    // packed one kNr-wide panel at a time — each panel is packed
+    // exactly once either way, but the arena then holds k * 16 floats
+    // of B instead of a full padded copy of the largest operand any
+    // worker ever multiplied.
+    static thread_local Workspace tls;
+    Workspace::Frame frame(tls);
+    float *packedA = tls.acquire(1, mPanels * k * kMr).data();
+    float *pb = tls.acquire(1, k * kNr).data();
+    float *tile = tls.acquire(1, kMr * kNr).data();
+
+    for (size_t ip = 0; ip < mPanels; ++ip) {
+        const size_t i0 = ip * kMr;
+        packAPanel(packedA + ip * k * kMr, a, trans, i0,
+                   std::min(kMr, m - i0), k);
+    }
+
+    for (size_t jp = 0; jp < nPanels; ++jp) {
+        const size_t j0 = jp * kNr;
+        const size_t nEff = std::min(kNr, n - j0);
+        packBPanel(pb, b, trans, j0, nEff, k);
+        for (size_t ip = 0; ip < mPanels; ++ip) {
+            const size_t i0 = ip * kMr;
+            const size_t mEff = std::min(kMr, m - i0);
+            const float *pa = packedA + ip * k * kMr;
+            if (mEff == kMr && nEff == kNr) {
+                microKernel6x16(k, pa, pb, dst.rowPtr(i0) + j0, n);
+            } else {
+                // Ragged edge: land in the scratch tile, copy the
+                // valid region so C is never written out of bounds.
+                microKernel6x16(k, pa, pb, tile, kNr);
+                for (size_t r = 0; r < mEff; ++r)
+                    std::memcpy(dst.rowPtr(i0 + r) + j0, tile + r * kNr,
+                                nEff * sizeof(float));
+            }
+        }
+    }
+}
+
+} // namespace detail
+} // namespace vitality

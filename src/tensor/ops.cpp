@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "base/logging.h"
+#include "tensor/gemm.h"
 
 namespace vitality {
 
@@ -17,18 +18,6 @@ requireSameShape(const Matrix &a, const Matrix &b, const char *op)
         throw std::invalid_argument(
             strfmt("%s: shape mismatch %s vs %s", op, a.shapeStr().c_str(),
                    b.shapeStr().c_str()));
-    }
-}
-
-// Matrix always owns its storage, so two distinct objects never share
-// data: object identity is the only possible aliasing.
-void
-requireNoAlias(const Matrix &dst, const Matrix &a, const Matrix &b,
-               const char *op)
-{
-    if (&dst == &a || &dst == &b) {
-        throw std::invalid_argument(
-            strfmt("%s: dst must not alias an input", op));
     }
 }
 
@@ -52,44 +41,20 @@ requireColVector(const Matrix &a, const Matrix &v, const char *op)
     }
 }
 
-// Block size for the cache-tiled GEMM inner loops. 64 floats = 256 bytes
-// per row strip, keeping three blocks comfortably within L1.
-constexpr size_t kBlock = 64;
-
 } // namespace
 
 // --- matmul family ----------------------------------------------------------
+//
+// All three variants (and therefore every matmul in the library: the
+// value-returning forms below are thin wrappers) funnel through the
+// Gemm dispatcher, which picks the AVX2+FMA microkernel or the portable
+// scalar loops at runtime. Shape and aliasing checks live in
+// Gemm::multiply.
 
 void
 matmulInto(Matrix &dst, const Matrix &a, const Matrix &b)
 {
-    if (a.cols() != b.rows()) {
-        throw std::invalid_argument(
-            strfmt("matmul: inner dims differ, %s vs %s",
-                   a.shapeStr().c_str(), b.shapeStr().c_str()));
-    }
-    requireNoAlias(dst, a, b, "matmulInto");
-    const size_t m = a.rows(), k = a.cols(), n = b.cols();
-    dst.resize(m, n);
-    dst.fill(0.0f);
-    // Blocked i-k-j order: the innermost loop streams contiguous rows of B
-    // and C, which vectorizes well.
-    for (size_t i0 = 0; i0 < m; i0 += kBlock) {
-        const size_t i1 = std::min(i0 + kBlock, m);
-        for (size_t k0 = 0; k0 < k; k0 += kBlock) {
-            const size_t k1 = std::min(k0 + kBlock, k);
-            for (size_t i = i0; i < i1; ++i) {
-                const float *arow = a.rowPtr(i);
-                float *crow = dst.rowPtr(i);
-                for (size_t kk = k0; kk < k1; ++kk) {
-                    const float aik = arow[kk];
-                    const float *brow = b.rowPtr(kk);
-                    for (size_t j = 0; j < n; ++j)
-                        crow[j] += aik * brow[j];
-                }
-            }
-        }
-    }
+    Gemm::multiply(dst, a, b, Gemm::Trans::None);
 }
 
 Matrix
@@ -103,26 +68,7 @@ matmul(const Matrix &a, const Matrix &b)
 void
 matmulBTInto(Matrix &dst, const Matrix &a, const Matrix &b)
 {
-    if (a.cols() != b.cols()) {
-        throw std::invalid_argument(
-            strfmt("matmulBT: inner dims differ, %s vs %s^T",
-                   a.shapeStr().c_str(), b.shapeStr().c_str()));
-    }
-    requireNoAlias(dst, a, b, "matmulBTInto");
-    const size_t m = a.rows(), k = a.cols(), n = b.rows();
-    dst.resize(m, n);
-    // Row-by-row dot products: both operands stream contiguously.
-    for (size_t i = 0; i < m; ++i) {
-        const float *arow = a.rowPtr(i);
-        float *crow = dst.rowPtr(i);
-        for (size_t j = 0; j < n; ++j) {
-            const float *brow = b.rowPtr(j);
-            float acc = 0.0f;
-            for (size_t kk = 0; kk < k; ++kk)
-                acc += arow[kk] * brow[kk];
-            crow[j] = acc;
-        }
-    }
+    Gemm::multiply(dst, a, b, Gemm::Trans::B);
 }
 
 Matrix
@@ -136,26 +82,7 @@ matmulBT(const Matrix &a, const Matrix &b)
 void
 matmulATInto(Matrix &dst, const Matrix &a, const Matrix &b)
 {
-    if (a.rows() != b.rows()) {
-        throw std::invalid_argument(
-            strfmt("matmulAT: inner dims differ, %s^T vs %s",
-                   a.shapeStr().c_str(), b.shapeStr().c_str()));
-    }
-    requireNoAlias(dst, a, b, "matmulATInto");
-    const size_t m = a.cols(), k = a.rows(), n = b.cols();
-    dst.resize(m, n);
-    dst.fill(0.0f);
-    // Accumulate rank-1 updates: for each shared row kk, C += a_kk^T b_kk.
-    for (size_t kk = 0; kk < k; ++kk) {
-        const float *arow = a.rowPtr(kk);
-        const float *brow = b.rowPtr(kk);
-        for (size_t i = 0; i < m; ++i) {
-            const float aki = arow[i];
-            float *crow = dst.rowPtr(i);
-            for (size_t j = 0; j < n; ++j)
-                crow[j] += aki * brow[j];
-        }
-    }
+    Gemm::multiply(dst, a, b, Gemm::Trans::A);
 }
 
 Matrix

@@ -4,8 +4,11 @@
  *
  * These are the primitive operations used by every attention kernel and by
  * the autograd layer. All functions validate shapes and throw
- * std::invalid_argument on mismatch. matmul is cache-blocked; everything
- * else is a straightforward single pass.
+ * std::invalid_argument on mismatch. The whole matmul family (matmul,
+ * matmulBT, matmulAT and their *Into twins) routes through the Gemm
+ * dispatcher in tensor/gemm.h, so every caller rides the runtime-selected
+ * backend (AVX2+FMA microkernel or portable scalar loops) without
+ * per-kernel changes; everything else is a straightforward single pass.
  *
  * Every hot operation comes in two forms:
  *   - a value-returning form (matmul, softmaxRows, ...) that allocates its

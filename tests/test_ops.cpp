@@ -37,7 +37,10 @@ void
 testMatmulFamily()
 {
     Rng rng(0xabc1);
-    // Odd sizes straddle the GEMM block boundary (block size 64).
+    // Odd sizes straddle the scalar block boundary (64) and the AVX2
+    // microkernel panels (6 x 16); whichever backend the dispatcher
+    // picked must match the naive reference. test_gemm drives both
+    // backends explicitly over a full ragged-shape sweep.
     const Matrix a = Matrix::randn(67, 33, rng);
     const Matrix b = Matrix::randn(33, 71, rng);
 
