@@ -1,24 +1,36 @@
 /**
  * @file
  * Micro-benchmark: batched multi-head attention (Taylor vs softmax vs
- * unified) at the DeiT-Tiny/Small/Base shapes, batch sizes {1, 4, 16}.
+ * unified) at the DeiT-Tiny/Small/Base shapes, batch sizes {1, 4, 16},
+ * plus single-image end-to-end VitEncoder rows ("Encoder(<kernel>)",
+ * batch 1) that run the full 12-layer stack — the fused-epilogue dense
+ * projections/MLP and the intra-GEMM row-band fan-out that the
+ * MHA-only rows never exercise.
  *
  * For each (model, kernel, batch) triple the bench runs the pooled
  * batched multi-head forward over packed inputs and reports mean and
  * median wall-clock per batch, per-image throughput, achieved GFLOP/s
  * (analytic per-image FLOPs x batch / median wall), and the analytic
- * per-image OpCounts. The entry also records which GEMM backend was
- * active (gemm_backend: "avx2" or "scalar" — see tensor/gemm.h; override
- * with VITALITY_GEMM to compare). Results are appended as one
- * timestamped, git-SHA-keyed entry to a trajectory JSON (an array of
- * runs), so BENCH_attention.json accumulates history across PRs instead
- * of being overwritten. A legacy single-snapshot file (the
+ * per-image OpCounts. The entry also records the execution
+ * configuration that produced it — gemm_backend ("avx2" or "scalar",
+ * override with VITALITY_GEMM), pool_threads (worker count),
+ * gemm_threads (the intra-GEMM row-band width the main thread would
+ * fan out, after the VITALITY_THREADS cap), and epilogue ("fused" or
+ * "unfused", VITALITY_EPILOGUE) — so the regression checker only
+ * compares runs from matching configurations. Results are appended as
+ * one timestamped, git-SHA-keyed entry to a trajectory JSON (an array
+ * of runs), so BENCH_attention.json accumulates history across PRs
+ * instead of being overwritten. A legacy single-snapshot file (the
  * pre-trajectory format, one JSON object) is wrapped into the array on
  * first append.
  *
- * Usage: bench_attention [reps] [trajectory.json]
+ * Usage: bench_attention [reps] [trajectory.json] [preset]
  *   reps             repetitions per triple after one warmup (default 3)
- *   trajectory.json  append the run entry there (stdout always gets it)
+ *   trajectory.json  append the run entry there (stdout always gets it;
+ *                    pass "-" to skip the file)
+ *   preset           case-insensitive substring filter on the model
+ *                    name (e.g. "base" sweeps only DeiT-Base), so CI
+ *                    can exercise one shape without tripling wall time
  *
  * The git SHA is taken from $BENCH_GIT_SHA (the explicit override — CI
  * sets it to the pull request's head SHA, because $GITHUB_SHA points at
@@ -42,6 +54,7 @@
 #include "base/logging.h"
 #include "base/rng.h"
 #include "model/vit_config.h"
+#include "model/vit_encoder.h"
 #include "runtime/multi_head_attention.h"
 #include "runtime/thread_pool.h"
 #include "tensor/batch.h"
@@ -140,6 +153,9 @@ entryJson(const std::vector<Result> &results, size_t pool_threads)
     os << "  \"timestamp\": \"" << isoUtc(now) << "\",\n";
     os << "  \"unix_time\": " << static_cast<long long>(now) << ",\n";
     os << "  \"pool_threads\": " << pool_threads << ",\n";
+    os << "  \"gemm_threads\": " << Gemm::parallelWidth() << ",\n";
+    os << "  \"epilogue\": \""
+       << Gemm::epilogueModeName(Gemm::epilogueMode()) << "\",\n";
     os << "  \"gemm_backend\": \"" << Gemm::activeName() << "\",\n";
     os << "  \"results\": [\n";
     for (size_t i = 0; i < results.size(); ++i) {
@@ -236,9 +252,31 @@ main(int argc, char **argv)
     if (reps <= 0)
         fatal("bench_attention: reps must be positive");
 
-    const std::vector<VitConfig> models = {
-        VitConfig::deitTiny(), VitConfig::deitSmall(),
-        VitConfig::deitBase()};
+    std::vector<VitConfig> models = {VitConfig::deitTiny(),
+                                     VitConfig::deitSmall(),
+                                     VitConfig::deitBase()};
+    if (argc > 3) {
+        // Case-insensitive substring preset filter ("base" keeps only
+        // DeiT-Base), so CI can target one shape.
+        const auto lowered = [](std::string s) {
+            for (char &c : s)
+                c = static_cast<char>(
+                    std::tolower(static_cast<unsigned char>(c)));
+            return s;
+        };
+        const std::string wanted = lowered(argv[3]);
+        std::vector<VitConfig> kept;
+        for (VitConfig &cfg : models) {
+            if (lowered(cfg.name).find(wanted) != std::string::npos)
+                kept.push_back(std::move(cfg));
+        }
+        if (kept.empty()) {
+            fatal("bench_attention: preset '%s' matches no model "
+                  "(have: DeiT-Tiny, DeiT-Small, DeiT-Base)",
+                  argv[3]);
+        }
+        models = std::move(kept);
+    }
     const std::vector<AttentionType> kernels = {
         AttentionType::Taylor, AttentionType::Softmax,
         AttentionType::Unified};
@@ -247,8 +285,11 @@ main(int argc, char **argv)
         *std::max_element(batchSizes.begin(), batchSizes.end());
 
     ThreadPool pool;
-    inform("gemm backend: %s (override with VITALITY_GEMM=scalar|avx2)",
-           Gemm::activeName());
+    inform("gemm backend: %s, pool threads: %zu, gemm threads: %zu, "
+           "epilogue: %s (override with VITALITY_GEMM / "
+           "VITALITY_THREADS / VITALITY_EPILOGUE)",
+           Gemm::activeName(), pool.size(), Gemm::parallelWidth(),
+           Gemm::epilogueModeName(Gemm::epilogueMode()));
     std::vector<Result> results;
     for (const VitConfig &cfg : models) {
         Rng rng(0xbe9c ^ cfg.dModel);
@@ -278,6 +319,54 @@ main(int argc, char **argv)
                      ks.begin(), ks.begin() + batch)),
                  Batch::fromMatrices(std::vector<Matrix>(
                      vs.begin(), vs.begin() + batch))});
+        }
+
+        // Single-image end-to-end encoder rows: the 12-layer dense path
+        // (fused-epilogue QKV/output/MLP GEMMs, pool row bands) plus
+        // attention — the stages the MHA-only rows never touch. Keyed
+        // as kernel "Encoder(<name>)" at batch 1, so the regression
+        // gate tracks the dense path separately.
+        for (AttentionType type : kernels) {
+            VitEncoder encoder(cfg, makeAttention(type), 0x5eed);
+            Matrix out;
+            encoder.forwardInto(qs[0], pool, out); // warmup
+            std::vector<double> laps(static_cast<size_t>(reps));
+            for (int r = 0; r < reps; ++r) {
+                const double t0 = nowMs();
+                encoder.forwardInto(qs[0], pool, out);
+                laps[static_cast<size_t>(r)] = nowMs() - t0;
+            }
+            double mean_ms = 0.0;
+            for (double lap : laps)
+                mean_ms += lap;
+            mean_ms /= reps;
+            const double median_ms = median(laps);
+
+            Result res;
+            res.model = cfg.name;
+            res.kernel =
+                "Encoder(" + attentionTypeName(type) + ")";
+            res.tokens = cfg.tokens;
+            res.heads = cfg.heads;
+            res.headDim = cfg.headDim();
+            res.batch = 1;
+            res.reps = reps;
+            res.wallMsMean = mean_ms;
+            res.wallMsMedian = median_ms;
+            res.imagesPerSec =
+                median_ms > 0.0 ? 1.0 / (median_ms * 1e-3) : 0.0;
+            res.counts = encoder.opCounts(); // per image, all layers
+            res.gflopsPerSec =
+                median_ms > 0.0
+                    ? static_cast<double>(res.counts.flops()) /
+                          (median_ms * 1e6)
+                    : 0.0;
+            results.push_back(res);
+
+            inform("%-10s %-14s B=1  %8.3f ms/img   %8.1f img/s"
+                   "  %7.2f GFLOP/s",
+                   cfg.name.c_str(), res.kernel.c_str(), median_ms,
+                   res.imagesPerSec, res.gflopsPerSec);
         }
 
         for (AttentionType type : kernels) {
@@ -338,7 +427,7 @@ main(int argc, char **argv)
 
     const std::string entry = entryJson(results, pool.size());
     std::printf("%s\n", entry.c_str());
-    if (argc > 2) {
+    if (argc > 2 && std::string(argv[2]) != "-") {
         appendToTrajectory(argv[2], entry);
         inform("appended run to %s", argv[2]);
     }

@@ -4,12 +4,15 @@
 Compares the newest run entry against prior *comparable* entries and
 fails (exit 1) if median wall-clock latency regressed by more than the
 threshold (default +20%) at any (model, kernel, batch) shape present in
-both. Two entries are comparable when their gemm_backend and
-pool_threads match: a scalar run is expected to be slower than an avx2
-run, and wall-clock from a machine with a different core count is
-hardware signal, not code signal — flagging either would just train
-people to ignore the gate. (Legacy entries predating those fields only
-compare against each other.)
+both. Two entries are comparable when their full execution
+configuration matches — gemm_backend, pool_threads, gemm_threads (the
+intra-GEMM row-band width), and epilogue mode: a scalar run is expected
+to be slower than an avx2 run, a single-thread run slower than a
+pool-parallel one, and wall-clock from a machine with a different core
+count is hardware signal, not code signal — flagging any of those
+would just train people to ignore the gate. (Legacy entries predating
+a field carry None for it and therefore only compare against each
+other.)
 
 The newest entry is gated pairwise against
   - the most recent comparable prior entry (run-over-run regressions),
@@ -42,9 +45,14 @@ def load_trajectory(path):
     return data if isinstance(data, list) else [data]
 
 
+# The execution-configuration fields an entry is keyed by: wall-clock
+# is only a code signal between runs whose configuration matches.
+CONFIG_FIELDS = ("gemm_backend", "pool_threads", "gemm_threads",
+                 "epilogue")
+
+
 def comparable(old, new):
-    return (old.get("gemm_backend") == new.get("gemm_backend")
-            and old.get("pool_threads") == new.get("pool_threads"))
+    return all(old.get(f) == new.get(f) for f in CONFIG_FIELDS)
 
 
 def keyed_results(entry):
@@ -122,10 +130,10 @@ def main():
     new = data[-1]
     priors = [e for e in data[:-1] if comparable(e, new)]
     if not priors:
-        print(f"bench-regression: no prior entry matches backend "
-              f"{new.get('gemm_backend')!r} / pool_threads "
-              f"{new.get('pool_threads')!r}; entries are from a "
-              f"different configuration or machine, skipping")
+        config = ", ".join(f"{f}={new.get(f)!r}" for f in CONFIG_FIELDS)
+        print(f"bench-regression: no prior entry matches ({config}); "
+              f"entries are from a different configuration or machine, "
+              f"skipping")
         return 0
 
     failures = compare(priors[-1], new, args.threshold, "vs previous")

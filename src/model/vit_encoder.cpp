@@ -1,11 +1,11 @@
 #include "model/vit_encoder.h"
 
-#include <cmath>
 #include <stdexcept>
 
 #include "base/logging.h"
 #include "base/rng.h"
 #include "runtime/call_guard.h"
+#include "tensor/gemm.h"
 #include "tensor/ops.h"
 
 namespace vitality {
@@ -16,18 +16,13 @@ const char *const kConcurrentCall =
     "VitEncoder: concurrent forward on one instance (activation "
     "buffers are not shareable; use one instance per caller)";
 
-// Tanh-approximation GELU, the variant ViT/DeiT checkpoints use.
-float
-gelu(float x)
-{
-    const float kSqrt2OverPi = 0.7978845608f;
-    const float inner = kSqrt2OverPi * (x + 0.044715f * x * x * x);
-    return 0.5f * x * (1.0f + std::tanh(inner));
-}
-
 // The per-layer float program is shared between the single-image and the
 // batched paths, which is what makes forwardBatch bitwise-identical to
-// per-image forward calls.
+// per-image forward calls. Every dense stage rides the fused GEMM
+// epilogue (tensor/gemm.h): bias adds, the GELU, and the residual adds
+// happen in the GEMM write-back instead of as extra full passes over
+// the activations — and fused epilogues are bitwise-identical to the
+// unfused op sequence, so the parity guarantees survive the fusion.
 
 // LN1 and the QKV projections: normed, q, k, v <- LN1(x), packed QKV.
 void
@@ -35,40 +30,35 @@ attentionPre(const VitEncoder::LayerWeights &w, const Matrix &x,
              Matrix &normed, Matrix &q, Matrix &k, Matrix &v)
 {
     layerNormRowsInto(normed, x, w.ln1Gamma, w.ln1Beta);
-    matmulInto(q, normed, w.wq);
-    broadcastAddRowInto(q, q, w.bq);
-    matmulInto(k, normed, w.wk);
-    broadcastAddRowInto(k, k, w.bk);
-    matmulInto(v, normed, w.wv);
-    broadcastAddRowInto(v, v, w.bv);
+    Gemm::multiply(q, normed, w.wq, Gemm::Trans::None,
+                   Gemm::Epilogue::withBias(w.bq));
+    Gemm::multiply(k, normed, w.wk, Gemm::Trans::None,
+                   Gemm::Epilogue::withBias(w.bk));
+    Gemm::multiply(v, normed, w.wv, Gemm::Trans::None,
+                   Gemm::Epilogue::withBias(w.bv));
 }
 
-// Output projection and residual: x += W_O attn + b_O.
+// Output projection and residual, one fused call: x += W_O attn + b_O.
 void
 attentionPost(const VitEncoder::LayerWeights &w, Matrix &x,
-              const Matrix &attn, Matrix &proj)
+              const Matrix &attn)
 {
-    matmulInto(proj, attn, w.wo);
-    broadcastAddRowInto(proj, proj, w.bo);
-    addInto(x, x, proj);
+    Gemm::multiply(x, attn, w.wo, Gemm::Trans::None,
+                   Gemm::Epilogue::accumulateWithBias(w.bo));
 }
 
-// MLP block: x += W_2 GELU(W_1 LN2(x)).
+// MLP block: x += W_2 GELU(W_1 LN2(x)). The GELU rides the first
+// GEMM's write-back, the bias + residual the second's — no separate
+// pass over the model's largest activation matrix remains.
 void
 mlpBlock(const VitEncoder::LayerWeights &w, Matrix &x, Matrix &normed,
-         Matrix &hidden, Matrix &proj)
+         Matrix &hidden)
 {
     layerNormRowsInto(normed, x, w.ln2Gamma, w.ln2Beta);
-    matmulInto(hidden, normed, w.w1);
-    broadcastAddRowInto(hidden, hidden, w.b1);
-    // Direct loop rather than mapElemInto: the std::function
-    // indirection costs an un-inlinable call per element on the
-    // model's largest activation matrix.
-    for (size_t i = 0; i < hidden.size(); ++i)
-        hidden.data()[i] = gelu(hidden.data()[i]);
-    matmulInto(proj, hidden, w.w2);
-    broadcastAddRowInto(proj, proj, w.b2);
-    addInto(x, x, proj);
+    Gemm::multiply(hidden, normed, w.w1, Gemm::Trans::None,
+                   Gemm::Epilogue::withBiasGelu(w.b1));
+    Gemm::multiply(x, hidden, w.w2, Gemm::Trans::None,
+                   Gemm::Epilogue::accumulateWithBias(w.b2));
 }
 
 } // namespace
@@ -131,14 +121,13 @@ VitEncoder::forwardInto(const Matrix &x_in, ThreadPool &pool, Matrix &out)
     Matrix &k = ws_.acquire(n, d);
     Matrix &v = ws_.acquire(n, d);
     Matrix &attn = ws_.acquire(n, d);
-    Matrix &proj = ws_.acquire(n, d);
     Matrix &hidden = ws_.acquire(n, h);
 
     for (const LayerWeights &w : layers_) {
         attentionPre(w, x, normed, q, k, v);
         mha_.forwardInto(pool, q, k, v, attn);
-        attentionPost(w, x, attn, proj);
-        mlpBlock(w, x, normed, hidden, proj);
+        attentionPost(w, x, attn);
+        mlpBlock(w, x, normed, hidden);
     }
 
     out.copyFrom(x);
@@ -175,12 +164,14 @@ VitEncoder::forwardBatchInto(const Batch &x_in, ThreadPool &pool,
     bq_.resize(batch, n, d);
     bk_.resize(batch, n, d);
     bv_.resize(batch, n, d);
-    bproj_.resize(batch, n, d);
     bhidden_.resize(batch, n, h);
 
     for (const LayerWeights &w : layers_) {
         // Dense pre-attention stages, one image per task. The per-image
-        // buffers are disjoint, so tasks never share floats.
+        // buffers are disjoint, so tasks never share floats, and GEMMs
+        // issued inside a task stay sequential (the Gemm runner reports
+        // width 1 on workers), so image-level parallelism is never
+        // oversubscribed by intra-GEMM bands.
         pool.parallelFor(0, batch, [&](size_t b, size_t) {
             attentionPre(w, bx_[b], bnormed_[b], bq_[b], bk_[b], bv_[b]);
         });
@@ -188,8 +179,8 @@ VitEncoder::forwardBatchInto(const Batch &x_in, ThreadPool &pool,
         mha_.forwardBatchInto(pool, bq_, bk_, bv_, battn_);
         // Output projection, residual, and MLP, one image per task.
         pool.parallelFor(0, batch, [&](size_t b, size_t) {
-            attentionPost(w, bx_[b], battn_[b], bproj_[b]);
-            mlpBlock(w, bx_[b], bnormed_[b], bhidden_[b], bproj_[b]);
+            attentionPost(w, bx_[b], battn_[b]);
+            mlpBlock(w, bx_[b], bnormed_[b], bhidden_[b]);
         });
     }
 

@@ -9,7 +9,12 @@
  *
  * with the multi-head attention dispatched through the runtime layer, so
  * any kernel in the zoo (softmax baseline, ViTALiTy Taylor, Sanger
- * sparse, unified, ...) can be swapped in end-to-end. forwardBatch runs
+ * sparse, unified, ...) can be swapped in end-to-end. Every dense stage
+ * (QKV/output projections, MLP) is a single fused GEMM call: bias adds,
+ * the tanh-GELU, and the residual adds ride the GEMM epilogue
+ * (tensor/gemm.h) instead of re-walking the activations, and the
+ * single-image path additionally fans row bands of each GEMM across the
+ * pool. forwardBatch runs
  * the same program over B images at once, fanning both the dense stages
  * (per image) and the attention (per image x head) across the pool. Weights are
  * randomly initialized (the repo reproduces the paper's compute and
@@ -126,8 +131,12 @@ class VitEncoder
     MultiHeadAttention mha_;
     std::vector<LayerWeights> layers_;
     Workspace ws_;
-    /** Per-image batch activations, recycled across forwardBatch calls. */
-    Batch bx_, bnormed_, bq_, bk_, bv_, battn_, bproj_, bhidden_;
+    /**
+     * Per-image batch activations, recycled across forwardBatch calls.
+     * The old projection scratch is gone: output and MLP projections
+     * accumulate straight into bx_ through the fused GEMM epilogue.
+     */
+    Batch bx_, bnormed_, bq_, bk_, bv_, battn_, bhidden_;
     /**
      * Set while a forward entry point is executing; the activation
      * buffers above (and ws_) are shared per instance, so a concurrent

@@ -135,6 +135,14 @@ MultiHeadAttention::forwardInto(ThreadPool &pool, const Matrix &q,
     ensureContexts(pool.size());
 
     out.resize(q.rows(), q.cols());
+    // A single-worker pool buys no overlap; run the heads on the
+    // calling thread and skip H queue round-trips. Bitwise-identical:
+    // heads write disjoint column ranges either way.
+    if (pool.size() == 1) {
+        for (size_t head = 0; head < heads_; ++head)
+            runHead(*contexts_[0], head, q, k, v, out);
+        return;
+    }
     pool.parallelFor(0, heads_, [&](size_t head, size_t worker) {
         runHead(*contexts_[worker], head, q, k, v, out);
     });
@@ -160,7 +168,17 @@ MultiHeadAttention::forwardBatchInto(ThreadPool &pool, const Batch &q,
 
     out.resize(q.size(), q.rows(), q.cols());
     // One work item per (image, head) pair: B x H items keep the pool
-    // busy even when H alone is smaller than the worker count.
+    // busy even when H alone is smaller than the worker count. A
+    // single-worker pool runs them inline instead (no overlap to buy).
+    if (pool.size() == 1) {
+        for (size_t item = 0; item < q.size() * heads_; ++item) {
+            const size_t image = item / heads_;
+            const size_t head = item % heads_;
+            runHead(*contexts_[0], head, q[image], k[image], v[image],
+                    out[image]);
+        }
+        return;
+    }
     pool.parallelFor(0, q.size() * heads_, [&](size_t item, size_t worker) {
         const size_t image = item / heads_;
         const size_t head = item % heads_;

@@ -7,18 +7,80 @@
 
 namespace vitality {
 
+namespace {
+
+// Set inside workerLoop; lets the GEMM runner (and callers) detect that
+// the current thread belongs to some pool, where nested fan-out must
+// collapse to sequential execution.
+thread_local bool t_onWorkerThread = false;
+
+// Live pools in construction order. The newest live pool serves as the
+// process's GEMM runner; when it is destroyed the role falls back to
+// the previous live pool instead of silently leaving every later
+// multiply sequential. The mutex also serializes the check-then-install
+// so two pools constructed concurrently cannot both claim the role.
+std::mutex g_poolRegistryMutex;
+std::vector<ThreadPool *> g_livePools;
+
+size_t
+defaultThreadCount()
+{
+    // VITALITY_THREADS overrides the default worker count through the
+    // same resolver that caps the GEMM band fan-out (Gemm::maxThreads,
+    // 0 = unset), so one knob with one parse pins the whole process to
+    // N threads.
+    const size_t override = Gemm::maxThreads();
+    if (override > 0)
+        return override;
+    return std::max(1u, std::thread::hardware_concurrency());
+}
+
+} // namespace
+
 ThreadPool::ThreadPool(size_t num_threads)
 {
-    if (num_threads == 0) {
-        num_threads = std::max(1u, std::thread::hardware_concurrency());
-    }
+    if (num_threads == 0)
+        num_threads = defaultThreadCount();
     workers_.reserve(num_threads);
     for (size_t w = 0; w < num_threads; ++w)
         workers_.emplace_back([this, w] { workerLoop(w); });
+
+    // The newest pool becomes the process's intra-GEMM runner. Width 1
+    // from a worker thread keeps nested GEMMs sequential (image-level
+    // parallelism wins in the batched path); Gemm additionally applies
+    // the VITALITY_THREADS cap and its size heuristic.
+    auto runner = std::make_shared<Gemm::ParallelRunner>();
+    runner->width = [this]() -> size_t {
+        return onWorkerThread() ? 1 : workers_.size();
+    };
+    runner->run = [this](size_t tasks,
+                         const std::function<void(size_t)> &fn) {
+        parallelFor(0, tasks, [&fn](size_t i, size_t) { fn(i); });
+    };
+    gemmRunner_ = std::move(runner);
+    {
+        std::lock_guard<std::mutex> lock(g_poolRegistryMutex);
+        g_livePools.push_back(this);
+        Gemm::setParallelRunner(gemmRunner_);
+    }
 }
 
 ThreadPool::~ThreadPool()
 {
+    // Un-install the runner before the workers go away so no later
+    // multiply fans out into a dead pool; if another pool is still
+    // alive, hand the role to the newest of them instead of dropping
+    // intra-GEMM parallelism for the rest of the process.
+    {
+        std::lock_guard<std::mutex> lock(g_poolRegistryMutex);
+        g_livePools.erase(
+            std::find(g_livePools.begin(), g_livePools.end(), this));
+        if (Gemm::parallelRunner() == gemmRunner_) {
+            Gemm::setParallelRunner(
+                g_livePools.empty() ? nullptr
+                                    : g_livePools.back()->gemmRunner_);
+        }
+    }
     {
         std::lock_guard<std::mutex> lock(mutex_);
         stopping_ = true;
@@ -26,6 +88,12 @@ ThreadPool::~ThreadPool()
     cv_.notify_all();
     for (auto &t : workers_)
         t.join();
+}
+
+bool
+ThreadPool::onWorkerThread()
+{
+    return t_onWorkerThread;
 }
 
 void
@@ -41,6 +109,7 @@ ThreadPool::submit(std::function<void(size_t)> task)
 void
 ThreadPool::workerLoop(size_t worker)
 {
+    t_onWorkerThread = true;
     for (;;) {
         std::function<void(size_t)> task;
         {

@@ -4,11 +4,28 @@
  *
  * Deliberately simple — a mutex-guarded task queue, no work stealing —
  * because the workloads it serves (one task per attention head, a handful
- * of heads per layer) are coarse enough that queue contention is noise.
- * What the rest of the runtime relies on is the dense worker numbering:
- * every task body receives the index of the worker executing it, in
- * [0, size()), which is how MultiHeadAttention hands each thread its own
- * AttentionContext without locks or thread-local state.
+ * of heads per layer, row bands of a GEMM) are coarse enough that queue
+ * contention is noise. What the rest of the runtime relies on is the
+ * dense worker numbering: every task body receives the index of the
+ * worker executing it, in [0, size()), which is how MultiHeadAttention
+ * hands each thread its own AttentionContext without locks or
+ * thread-local state.
+ *
+ * Intra-GEMM parallelism: the most recently constructed live pool
+ * serves as the Gemm parallel runner (tensor/gemm.h), so dense GEMMs
+ * issued from non-worker threads — the single-image encoder path — fan
+ * microkernel-aligned row bands across the workers. The runner reports
+ * width 1 from inside a pool task (any pool's), which is the heuristic
+ * that keeps the batched path on image-level parallelism: a GEMM inside
+ * a per-image task runs sequentially instead of oversubscribing the
+ * pool or deadlocking on nested parallelFor. A destructing pool hands
+ * the runner role to the newest remaining live pool (or un-installs it
+ * when none is left) before joining its workers; destroy a pool only
+ * after its in-flight multiplies have drained.
+ *
+ * The VITALITY_THREADS environment variable overrides the default
+ * worker count (ThreadPool(0)) and also caps the GEMM band fan-out
+ * (Gemm::maxThreads); explicit constructor counts are never overridden.
  */
 
 #ifndef VITALITY_RUNTIME_THREAD_POOL_H
@@ -18,9 +35,12 @@
 #include <cstddef>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "tensor/gemm.h"
 
 namespace vitality {
 
@@ -29,8 +49,10 @@ class ThreadPool
 {
   public:
     /**
-     * @param num_threads Worker count; 0 means hardware_concurrency()
-     * (at least 1).
+     * @param num_threads Worker count; 0 means the process thread
+     * override if set — Gemm::maxThreads(), i.e. VITALITY_THREADS or a
+     * Gemm::setMaxThreads() call — else hardware_concurrency() (at
+     * least 1).
      */
     explicit ThreadPool(size_t num_threads = 0);
 
@@ -42,6 +64,14 @@ class ThreadPool
 
     /** Number of worker threads. */
     size_t size() const { return workers_.size(); }
+
+    /**
+     * True when the calling thread is a worker of any ThreadPool. The
+     * GEMM runner uses this to refuse nested fan-out (parallelFor from
+     * a worker would deadlock); callers can use it for the same
+     * purpose.
+     */
+    static bool onWorkerThread();
 
     /**
      * Enqueue a task; returns immediately. The task receives the index of
@@ -72,6 +102,8 @@ class ThreadPool
     std::mutex mutex_;
     std::condition_variable cv_;
     bool stopping_ = false;
+    /** The Gemm runner this pool installed, or nullptr. */
+    std::shared_ptr<const Gemm::ParallelRunner> gemmRunner_;
 };
 
 } // namespace vitality

@@ -3,9 +3,13 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdlib>
+#include <mutex>
 #include <stdexcept>
 
 #include "base/logging.h"
+#include "tensor/gemm_epilogue.h"
+#include "tensor/ops.h"
+#include "tensor/workspace.h"
 
 namespace vitality {
 
@@ -14,9 +18,10 @@ namespace detail {
 #if VITALITY_HAVE_AVX2
 // Defined in gemm_avx2.cpp, compiled with -mavx2 -mfma. Must only be
 // called after a runtime CPUID check: the whole translation unit is
-// built for the AVX2 ISA.
+// built for the AVX2 ISA. Computes rows [rowBegin, rowEnd) of dst.
 void gemmAvx2(Matrix &dst, const Matrix &a, const Matrix &b,
-              Gemm::Trans trans);
+              Gemm::Trans trans, size_t rowBegin, size_t rowEnd,
+              const Gemm::Epilogue &ep);
 #endif
 
 } // namespace detail
@@ -26,6 +31,17 @@ namespace {
 // Block size for the scalar cache-tiled loops. 64 floats = 256 bytes
 // per row strip, keeping three blocks comfortably within L1.
 constexpr size_t kBlock = 64;
+
+// Row-band granularity for intra-GEMM parallelism. Matches the AVX2
+// microkernel's panel height so a band boundary never splits a packed
+// A panel; the scalar backend is indifferent to the granularity.
+constexpr size_t kBandRows = 6;
+
+// The size heuristic: don't fan out unless every band gets at least
+// this many flops (2*m*n*k total), so layer-norm-sized GEMMs and the
+// per-head attention products stay on the calling thread where the
+// fan-out overhead would dominate.
+constexpr uint64_t kMinFlopsPerBand = uint64_t(1) << 21;
 
 /** op(X) dimensions: rows(op(A)) x cols(op(A)) = m x k, op(B) = k x n. */
 struct GemmDims
@@ -62,25 +78,48 @@ checkedDims(const Matrix &a, const Matrix &b, Gemm::Trans trans)
     throw std::invalid_argument("gemm: unknown transpose mode");
 }
 
-// The scalar reference backend: the original cache-blocked loops. Every
-// variant accumulates each output element over k in ascending order, the
-// order the AVX2 microkernel reproduces (see the tolerance note in
-// gemm.h).
+using detail::epilogueApplyRow;
+
+// Scratch arena for the scalar backend's staged epilogue rows and the
+// unfused fallback product. Thread-local, so banded scalar GEMMs and
+// concurrent callers stay allocation-free per worker.
+thread_local Workspace t_scalarArena;
+
+// The scalar reference backend: the original cache-blocked loops,
+// restricted to output rows [i0, i1) so row bands can fan across a
+// pool. Every variant accumulates each output element over k in
+// ascending order, the order the AVX2 microkernel reproduces (see the
+// tolerance note in gemm.h). With a non-trivial epilogue the raw
+// products are staged in scratch rows and pushed through the shared
+// epilogueApplyRow helper (gemm_epilogue.h) at the end — same
+// accumulation order, fused single write-back.
 
 void
-scalarNone(Matrix &dst, const Matrix &a, const Matrix &b)
+scalarNone(Matrix &dst, const Matrix &a, const Matrix &b, size_t i0,
+           size_t i1, const Gemm::Epilogue &ep)
 {
-    const size_t m = a.rows(), k = a.cols(), n = b.cols();
-    dst.fill(0.0f);
+    const size_t k = a.cols(), n = b.cols();
+    Workspace::Frame frame(t_scalarArena);
+    Matrix *stage =
+        ep.trivial() ? nullptr
+                     : &t_scalarArena.acquire(std::min(kBlock, i1 - i0), n);
     // Blocked i-k-j order: the innermost loop streams contiguous rows of
-    // B and C, which vectorizes well.
-    for (size_t i0 = 0; i0 < m; i0 += kBlock) {
-        const size_t i1 = std::min(i0 + kBlock, m);
+    // B and the accumulator rows, which vectorizes well.
+    for (size_t ib = i0; ib < i1; ib += kBlock) {
+        const size_t ie = std::min(ib + kBlock, i1);
+        if (stage) {
+            stage->resize(ie - ib, n);
+            stage->fill(0.0f);
+        } else {
+            for (size_t i = ib; i < ie; ++i)
+                std::fill(dst.rowPtr(i), dst.rowPtr(i) + n, 0.0f);
+        }
         for (size_t k0 = 0; k0 < k; k0 += kBlock) {
             const size_t k1 = std::min(k0 + kBlock, k);
-            for (size_t i = i0; i < i1; ++i) {
+            for (size_t i = ib; i < ie; ++i) {
                 const float *arow = a.rowPtr(i);
-                float *crow = dst.rowPtr(i);
+                float *crow =
+                    stage ? stage->rowPtr(i - ib) : dst.rowPtr(i);
                 for (size_t kk = k0; kk < k1; ++kk) {
                     const float aik = arow[kk];
                     const float *brow = b.rowPtr(kk);
@@ -89,17 +128,25 @@ scalarNone(Matrix &dst, const Matrix &a, const Matrix &b)
                 }
             }
         }
+        if (stage)
+            for (size_t i = ib; i < ie; ++i)
+                epilogueApplyRow(dst.rowPtr(i), stage->rowPtr(i - ib), n, ep);
     }
 }
 
 void
-scalarTransB(Matrix &dst, const Matrix &a, const Matrix &b)
+scalarTransB(Matrix &dst, const Matrix &a, const Matrix &b, size_t i0,
+             size_t i1, const Gemm::Epilogue &ep)
 {
-    const size_t m = a.rows(), k = a.cols(), n = b.rows();
-    // Row-by-row dot products: both operands stream contiguously.
-    for (size_t i = 0; i < m; ++i) {
+    const size_t k = a.cols(), n = b.rows();
+    Workspace::Frame frame(t_scalarArena);
+    Matrix *stage =
+        ep.trivial() ? nullptr : &t_scalarArena.acquire(1, n);
+    // Row-by-row dot products: both operands stream contiguously; a
+    // finished row goes through the shared epilogue write-back.
+    for (size_t i = i0; i < i1; ++i) {
         const float *arow = a.rowPtr(i);
-        float *crow = dst.rowPtr(i);
+        float *crow = stage ? stage->rowPtr(0) : dst.rowPtr(i);
         for (size_t j = 0; j < n; ++j) {
             const float *brow = b.rowPtr(j);
             float acc = 0.0f;
@@ -107,42 +154,77 @@ scalarTransB(Matrix &dst, const Matrix &a, const Matrix &b)
                 acc += arow[kk] * brow[kk];
             crow[j] = acc;
         }
+        if (stage)
+            epilogueApplyRow(dst.rowPtr(i), crow, n, ep);
     }
 }
 
 void
-scalarTransA(Matrix &dst, const Matrix &a, const Matrix &b)
+scalarTransA(Matrix &dst, const Matrix &a, const Matrix &b, size_t i0,
+             size_t i1, const Gemm::Epilogue &ep)
 {
-    const size_t m = a.cols(), k = a.rows(), n = b.cols();
-    dst.fill(0.0f);
+    const size_t k = a.rows(), n = b.cols();
+    Workspace::Frame frame(t_scalarArena);
+    Matrix *stage = nullptr;
+    if (!ep.trivial())
+        stage = &t_scalarArena.acquireZeroed(i1 - i0, n);
+    else
+        for (size_t i = i0; i < i1; ++i)
+            std::fill(dst.rowPtr(i), dst.rowPtr(i) + n, 0.0f);
     // Accumulate rank-1 updates: for each shared row kk, C += a_kk^T b_kk.
     for (size_t kk = 0; kk < k; ++kk) {
         const float *arow = a.rowPtr(kk);
         const float *brow = b.rowPtr(kk);
-        for (size_t i = 0; i < m; ++i) {
+        for (size_t i = i0; i < i1; ++i) {
             const float aki = arow[i];
-            float *crow = dst.rowPtr(i);
+            float *crow = stage ? stage->rowPtr(i - i0) : dst.rowPtr(i);
             for (size_t j = 0; j < n; ++j)
                 crow[j] += aki * brow[j];
         }
     }
+    if (stage)
+        for (size_t i = i0; i < i1; ++i)
+            epilogueApplyRow(dst.rowPtr(i), stage->rowPtr(i - i0), n, ep);
 }
 
 void
 gemmScalar(Matrix &dst, const Matrix &a, const Matrix &b,
-           Gemm::Trans trans)
+           Gemm::Trans trans, size_t i0, size_t i1,
+           const Gemm::Epilogue &ep)
 {
     switch (trans) {
     case Gemm::Trans::None:
-        scalarNone(dst, a, b);
+        scalarNone(dst, a, b, i0, i1, ep);
         return;
     case Gemm::Trans::A:
-        scalarTransA(dst, a, b);
+        scalarTransA(dst, a, b, i0, i1, ep);
         return;
     case Gemm::Trans::B:
-        scalarTransB(dst, a, b);
+        scalarTransB(dst, a, b, i0, i1, ep);
         return;
     }
+}
+
+void
+runBackend(Gemm::Backend backend, Matrix &dst, const Matrix &a,
+           const Matrix &b, Gemm::Trans trans, size_t i0, size_t i1,
+           const Gemm::Epilogue &ep)
+{
+    switch (backend) {
+    case Gemm::Backend::Scalar:
+        gemmScalar(dst, a, b, trans, i0, i1, ep);
+        return;
+    case Gemm::Backend::Avx2:
+#if VITALITY_HAVE_AVX2
+        detail::gemmAvx2(dst, a, b, trans, i0, i1, ep);
+        return;
+#else
+        throw std::invalid_argument(
+            "gemm: AVX2 backend not compiled in "
+            "(build with -DVITALITY_ENABLE_AVX2=ON)");
+#endif
+    }
+    throw std::invalid_argument("gemm: unknown backend");
 }
 
 bool
@@ -183,17 +265,111 @@ resolveDefault()
 // the env override applies no matter when the first multiply happens.
 std::atomic<int> g_active{-1};
 
+// -1 = unresolved; otherwise a Gemm::EpilogueMode value
+// (VITALITY_EPILOGUE=fused|unfused, default fused).
+std::atomic<int> g_epilogueMode{-1};
+
+// -2 = unresolved; otherwise the VITALITY_THREADS cap (0 = uncapped).
+std::atomic<long> g_maxThreads{-2};
+
+// The injected intra-GEMM runner; guarded because install/uninstall
+// (ThreadPool construction/destruction) may race a reader taking a
+// snapshot. The snapshot keeps the ParallelRunner struct itself alive,
+// but not whatever the callbacks capture — the pool behind them must
+// outlive in-flight multiplies (documented in thread_pool.h).
+std::mutex g_runnerMutex;
+std::shared_ptr<const Gemm::ParallelRunner> g_runner;
+
+long
+resolveMaxThreads()
+{
+    const char *env = std::getenv("VITALITY_THREADS");
+    if (!env || !*env)
+        return 0;
+    char *end = nullptr;
+    const long parsed = std::strtol(env, &end, 10);
+    if (end == env || *end != '\0' || parsed < 0) {
+        warn("VITALITY_THREADS=%s not recognized (want a non-negative "
+             "integer); ignoring",
+             env);
+        return 0;
+    }
+    return parsed;
+}
+
+/**
+ * Bands the caller may fan this product across: the runner width under
+ * the thread cap and the size heuristic, floored at 1. Band boundaries
+ * are aligned to kBandRows so they never split a microkernel panel.
+ */
+size_t
+chooseBands(const GemmDims &dims,
+            const std::shared_ptr<const Gemm::ParallelRunner> &runner)
+{
+    if (!runner || dims.m <= kBandRows)
+        return 1;
+    size_t width = runner->width();
+    const size_t cap = Gemm::maxThreads();
+    if (cap)
+        width = std::min(width, cap);
+    if (width <= 1)
+        return 1;
+    const uint64_t flops = 2ull * dims.m * dims.n * dims.k;
+    const size_t byWork =
+        static_cast<size_t>(std::max<uint64_t>(1, flops / kMinFlopsPerBand));
+    const size_t panels = (dims.m + kBandRows - 1) / kBandRows;
+    return std::max<size_t>(1, std::min({width, byWork, panels}));
+}
+
+void
+validateEpilogue(const Matrix &dst, const GemmDims &dims,
+                 const Gemm::Epilogue &ep)
+{
+    if (ep.bias) {
+        if (ep.bias->rows() != 1 || ep.bias->cols() != dims.n) {
+            throw std::invalid_argument(
+                strfmt("gemm: epilogue bias %s, expected [1 x %zu]",
+                       ep.bias->shapeStr().c_str(), dims.n));
+        }
+        if (ep.bias == &dst) {
+            throw std::invalid_argument(
+                "gemm: epilogue bias must not alias dst");
+        }
+    }
+    if (ep.accumulate &&
+        (dst.rows() != dims.m || dst.cols() != dims.n)) {
+        throw std::invalid_argument(
+            strfmt("gemm: accumulate epilogue needs dst preshaped to "
+                   "[%zu x %zu], got %s",
+                   dims.m, dims.n, dst.shapeStr().c_str()));
+    }
+}
+
 } // namespace
 
 void
 Gemm::multiply(Matrix &dst, const Matrix &a, const Matrix &b, Trans trans)
 {
-    multiply(dst, a, b, trans, active());
+    multiply(dst, a, b, trans, Epilogue{}, active());
 }
 
 void
 Gemm::multiply(Matrix &dst, const Matrix &a, const Matrix &b, Trans trans,
                Backend backend)
+{
+    multiply(dst, a, b, trans, Epilogue{}, backend);
+}
+
+void
+Gemm::multiply(Matrix &dst, const Matrix &a, const Matrix &b, Trans trans,
+               const Epilogue &epilogue)
+{
+    multiply(dst, a, b, trans, epilogue, active());
+}
+
+void
+Gemm::multiply(Matrix &dst, const Matrix &a, const Matrix &b, Trans trans,
+               const Epilogue &ep, Backend backend)
 {
     // Guard the explicit-backend path too: without this, requesting
     // Avx2 on a host without the ISA would reach the microkernel and
@@ -208,28 +384,62 @@ Gemm::multiply(Matrix &dst, const Matrix &a, const Matrix &b, Trans trans,
     // possible aliasing.
     if (&dst == &a || &dst == &b)
         throw std::invalid_argument("gemm: dst must not alias an input");
-    dst.resize(dims.m, dims.n);
+    validateEpilogue(dst, dims, ep);
+    if (!ep.accumulate)
+        dst.resize(dims.m, dims.n);
     if (dims.m == 0 || dims.n == 0)
         return;
     if (dims.k == 0) {
-        dst.fill(0.0f);
+        // The product is all zeros; the epilogue still applies to it.
+        if (ep.trivial()) {
+            dst.fill(0.0f);
+            return;
+        }
+        Workspace::Frame frame(t_scalarArena);
+        const Matrix &zeros = t_scalarArena.acquireZeroed(1, dims.n);
+        for (size_t i = 0; i < dims.m; ++i)
+            epilogueApplyRow(dst.rowPtr(i), zeros.rowPtr(0), dims.n, ep);
         return;
     }
-    switch (backend) {
-    case Backend::Scalar:
-        gemmScalar(dst, a, b, trans);
+
+    if (!ep.trivial() && epilogueMode() == EpilogueMode::Unfused) {
+        // Debug/bench fallback: plain GEMM into scratch, then the same
+        // element-wise epilogue as a separate pass. Bitwise-identical
+        // to the fused path by construction (same order per element).
+        Workspace::Frame frame(t_scalarArena);
+        Matrix &product = t_scalarArena.acquire(dims.m, dims.n);
+        multiply(product, a, b, trans, Epilogue{}, backend);
+        for (size_t i = 0; i < dims.m; ++i)
+            epilogueApplyRow(dst.rowPtr(i), product.rowPtr(i), dims.n, ep);
         return;
-    case Backend::Avx2:
-#if VITALITY_HAVE_AVX2
-        detail::gemmAvx2(dst, a, b, trans);
-        return;
-#else
-        throw std::invalid_argument(
-            "gemm: AVX2 backend not compiled in "
-            "(build with -DVITALITY_ENABLE_AVX2=ON)");
-#endif
     }
-    throw std::invalid_argument("gemm: unknown backend");
+
+    // Cheap early-outs before touching the runner: a GEMM too small to
+    // ever split into two worthwhile bands skips the global runner
+    // mutex and shared_ptr traffic entirely (this is every per-head
+    // attention product issued from a pool worker).
+    std::shared_ptr<const ParallelRunner> runner;
+    if (dims.m > kBandRows &&
+        2ull * dims.m * dims.n * dims.k >= 2 * kMinFlopsPerBand)
+        runner = parallelRunner();
+    const size_t bands = runner ? chooseBands(dims, runner) : 1;
+    if (bands <= 1) {
+        runBackend(backend, dst, a, b, trans, 0, dims.m, ep);
+        return;
+    }
+    // Fan microkernel-aligned row bands across the pool. Bands
+    // partition the output rows, so every element is still one
+    // uninterrupted ascending-k sum: results are bitwise-identical to
+    // the sequential call at any band count.
+    const size_t panels = (dims.m + kBandRows - 1) / kBandRows;
+    runner->run(bands, [&](size_t band) {
+        const size_t p0 = panels * band / bands;
+        const size_t p1 = panels * (band + 1) / bands;
+        const size_t i0 = p0 * kBandRows;
+        const size_t i1 = std::min(p1 * kBandRows, dims.m);
+        if (i0 < i1)
+            runBackend(backend, dst, a, b, trans, i0, i1, ep);
+    });
 }
 
 Gemm::Backend
@@ -292,6 +502,95 @@ Gemm::parseBackend(const std::string &name)
     if (name == "avx2")
         return Backend::Avx2;
     return std::nullopt;
+}
+
+void
+Gemm::setParallelRunner(std::shared_ptr<const ParallelRunner> runner)
+{
+    if (runner && (!runner->width || !runner->run)) {
+        throw std::invalid_argument(
+            "gemm: parallel runner needs both width and run callbacks");
+    }
+    std::lock_guard<std::mutex> lock(g_runnerMutex);
+    g_runner = std::move(runner);
+}
+
+std::shared_ptr<const Gemm::ParallelRunner>
+Gemm::parallelRunner()
+{
+    std::lock_guard<std::mutex> lock(g_runnerMutex);
+    return g_runner;
+}
+
+void
+Gemm::setMaxThreads(size_t cap)
+{
+    g_maxThreads.store(static_cast<long>(cap),
+                       std::memory_order_release);
+}
+
+size_t
+Gemm::maxThreads()
+{
+    long cur = g_maxThreads.load(std::memory_order_acquire);
+    if (cur < 0) {
+        const long resolved = resolveMaxThreads();
+        long expected = -2;
+        g_maxThreads.compare_exchange_strong(expected, resolved,
+                                             std::memory_order_acq_rel);
+        cur = g_maxThreads.load(std::memory_order_acquire);
+    }
+    return static_cast<size_t>(cur);
+}
+
+size_t
+Gemm::parallelWidth()
+{
+    const std::shared_ptr<const ParallelRunner> runner = parallelRunner();
+    if (!runner)
+        return 1;
+    size_t width = runner->width();
+    const size_t cap = maxThreads();
+    if (cap)
+        width = std::min(width, cap);
+    return std::max<size_t>(1, width);
+}
+
+Gemm::EpilogueMode
+Gemm::epilogueMode()
+{
+    int cur = g_epilogueMode.load(std::memory_order_acquire);
+    if (cur < 0) {
+        int resolved = static_cast<int>(EpilogueMode::Fused);
+        const char *env = std::getenv("VITALITY_EPILOGUE");
+        if (env && *env) {
+            if (std::string(env) == "unfused") {
+                resolved = static_cast<int>(EpilogueMode::Unfused);
+            } else if (std::string(env) != "fused") {
+                warn("VITALITY_EPILOGUE=%s not recognized (want "
+                     "fused|unfused); using fused",
+                     env);
+            }
+        }
+        int expected = -1;
+        g_epilogueMode.compare_exchange_strong(expected, resolved,
+                                               std::memory_order_acq_rel);
+        cur = g_epilogueMode.load(std::memory_order_acquire);
+    }
+    return static_cast<EpilogueMode>(cur);
+}
+
+void
+Gemm::setEpilogueMode(EpilogueMode mode)
+{
+    g_epilogueMode.store(static_cast<int>(mode),
+                         std::memory_order_release);
+}
+
+const char *
+Gemm::epilogueModeName(EpilogueMode mode)
+{
+    return mode == EpilogueMode::Fused ? "fused" : "unfused";
 }
 
 } // namespace vitality

@@ -13,9 +13,12 @@
  *   - Scalar: the portable cache-blocked loops (always compiled, always
  *     available — the reference implementation).
  *   - Avx2:   a 6x16 register-blocked AVX2+FMA microkernel over packed
- *     A/B panels staged in a thread-local Workspace arena, compiled only
- *     when the build enables it (-DVITALITY_ENABLE_AVX2=ON, the default)
- *     and selected only when CPUID reports AVX2 and FMA support.
+ *     A/B panels staged in a thread-local Workspace arena, with kc
+ *     cache-blocking for deep-K shapes (the DeiT MLP projections run K
+ *     up to 3072; one unbroken K sweep would stream megabytes of packed
+ *     A through L2 per column panel). Compiled only when the build
+ *     enables it (-DVITALITY_ENABLE_AVX2=ON, the default) and selected
+ *     only when CPUID reports AVX2 and FMA support.
  *
  * The default backend is resolved once per process: the VITALITY_GEMM
  * environment variable ("scalar" or "avx2") wins if set and available,
@@ -23,11 +26,41 @@
  * the choice at runtime (used by tests and benches to compare backends);
  * the per-call Backend overload bypasses the process default entirely.
  *
+ * Fused epilogue
+ * --------------
+ * Production runtimes fold the cheap vector post-processing of a dense
+ * layer into the GEMM's write-back instead of re-walking the output.
+ * The Epilogue descriptor captures the three post-ops the ViT dense
+ * path needs; per output element (i, j), writing P = op(A)op(B):
+ *
+ *   t      = P(i, j)
+ *   t     += bias(0, j)      if bias        (row-broadcast bias)
+ *   t      = gelu(t)         if act == Gelu (tanh-approximation GELU)
+ *   C(i,j) = C(i,j) + t      if accumulate  (residual add; C preshaped)
+ *          = t               otherwise
+ *
+ * That element-wise order is exactly the order the unfused sequence
+ * (multiply, broadcastAddRowInto, geluInto, addInto) applies, so a
+ * fused call is bitwise-identical to the unfused passes on the same
+ * backend — asserted by test_gemm for every epilogue combination on
+ * both backends, and the basis on which VitEncoder's fused rewrite
+ * kept all of its bitwise batch/sequential parity guarantees. The
+ * VITALITY_EPILOGUE environment variable ("fused", the default, or
+ * "unfused") or setEpilogueMode() force the unfused fallback path —
+ * a bench/debug lever, not a numerics one, precisely because the two
+ * modes agree bitwise.
+ *
  * Numerical contract (the documented cross-backend tolerance): both
  * backends accumulate every output element as a single running sum over
  * k in ascending order, so they differ only in rounding — the AVX2 path
  * uses fused multiply-add (one rounding per step) where the scalar path
- * rounds the product and the sum separately. Per element the standard
+ * rounds the product and the sum separately. kc blocking does not widen
+ * the bound: partial sums round-trip through float32 memory between kc
+ * blocks, and a float32 store/reload is exact, so the accumulation
+ * sequence per element is unchanged. The same holds for row-band
+ * parallelism (below): bands partition output rows, every element is
+ * still produced by one uninterrupted ascending-k sum, so results are
+ * bitwise-identical at every thread count. Per element the standard
  * forward-error bound applies to each backend:
  *
  *   |c_computed - c_exact| <= k * eps * sum_k |a_ik| * |b_kj|
@@ -44,16 +77,36 @@
  * agree across backends to 1e-3 max-abs-diff (also asserted). Each
  * backend on its own is fully deterministic.
  *
+ * Intra-GEMM parallelism
+ * ----------------------
+ * The tensor layer cannot depend on the runtime layer, so parallelism
+ * is injected: the runtime's ThreadPool installs a ParallelRunner
+ * (setParallelRunner) that fans row bands across its workers, and
+ * multiply() partitions M into microkernel-aligned bands when the
+ * runner reports width > 1 and the product is large enough to amortize
+ * the fan-out (the size heuristic keeps layer-norm-sized GEMMs
+ * sequential). The runner reports width 1 when the calling thread is
+ * itself a pool worker, which is how the batched path keeps its
+ * image-level parallelism without oversubscribing: a GEMM running
+ * inside a per-image task stays sequential. setMaxThreads() (test
+ * hook) and the VITALITY_THREADS environment variable cap the band
+ * count; each band packs its own panels in its worker's thread-local
+ * Workspace, so the steady state stays allocation-free per worker.
+ *
  * Thread-safety: multiply() is safe to call from any number of threads
  * concurrently (the packing arena is thread-local, so the steady state
  * stays allocation-free per worker, matching the AttentionContext
- * design). setActive() is not synchronized with in-flight multiplies
- * and is meant for test/bench setup points.
+ * design). setActive(), setMaxThreads(), setEpilogueMode() and
+ * setParallelRunner() are not synchronized with in-flight multiplies
+ * and are meant for setup/teardown points (ThreadPool un-installs its
+ * runner in its destructor, before joining its workers).
  */
 
 #ifndef VITALITY_TENSOR_GEMM_H
 #define VITALITY_TENSOR_GEMM_H
 
+#include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 
@@ -79,6 +132,88 @@ class Gemm
     };
 
     /**
+     * Post-ops fused into the GEMM write-back (see the file comment for
+     * the exact element-wise order and the bitwise-parity contract).
+     */
+    struct Epilogue
+    {
+        enum class Act : unsigned char
+        {
+            None, ///< Identity.
+            Gelu, ///< tanh-approximation GELU (geluScalar in tensor/ops.h).
+        };
+
+        /**
+         * C += result instead of C = result (the residual add). dst
+         * must already be m x n; its contents are read, not discarded.
+         */
+        bool accumulate = false;
+
+        /**
+         * Row-broadcast bias, a 1 x n row vector added to every output
+         * row before the activation. Not owned; must outlive the call
+         * and must not alias dst.
+         */
+        const Matrix *bias = nullptr;
+
+        Act act = Act::None;
+
+        /** True when the epilogue is a plain overwrite (no post-ops). */
+        bool trivial() const
+        {
+            return !accumulate && bias == nullptr && act == Act::None;
+        }
+
+        /** C = AB + 1 * bias. */
+        static Epilogue withBias(const Matrix &b)
+        {
+            return Epilogue{false, &b, Act::None};
+        }
+
+        /** C = gelu(AB + 1 * bias). */
+        static Epilogue withBiasGelu(const Matrix &b)
+        {
+            return Epilogue{false, &b, Act::Gelu};
+        }
+
+        /** C += AB + 1 * bias. */
+        static Epilogue accumulateWithBias(const Matrix &b)
+        {
+            return Epilogue{true, &b, Act::None};
+        }
+    };
+
+    /** "fused" (default) or "unfused" — see VITALITY_EPILOGUE above. */
+    enum class EpilogueMode
+    {
+        Fused,   ///< Post-ops applied in the backend's write-back.
+        Unfused, ///< Plain GEMM to scratch + separate epilogue pass.
+    };
+
+    /**
+     * Injected intra-GEMM parallelism (installed by the runtime layer's
+     * ThreadPool; the tensor layer never sees the pool type). Both
+     * callbacks must be callable from any thread.
+     */
+    struct ParallelRunner
+    {
+        /**
+         * How many bands the calling thread may fan out right now;
+         * return 1 to force sequential execution (e.g. when the caller
+         * is itself a pool worker).
+         */
+        std::function<size_t()> width;
+
+        /**
+         * Run fn(0) .. fn(tasks - 1) concurrently and return when all
+         * completed, rethrowing the first exception.
+         */
+        std::function<void(size_t tasks,
+                           const std::function<void(size_t)> &fn)>
+            run;
+    };
+
+    /**
      * C = op(A) * op(B) on the active backend. dst is resized to m x n
      * (recycling its storage) and fully overwritten. Shape mismatches
      * and dst aliasing an input throw std::invalid_argument.
@@ -89,6 +224,21 @@ class Gemm
     /** Same, on an explicitly chosen backend (throws if unavailable). */
     static void multiply(Matrix &dst, const Matrix &a, const Matrix &b,
                          Trans trans, Backend backend);
+
+    /**
+     * C = epilogue(op(A) * op(B)) on the active backend. With
+     * epilogue.accumulate, dst must already be m x n (throws otherwise)
+     * and is read-modified-written; otherwise dst is resized and fully
+     * overwritten as usual. epilogue.bias must be 1 x n and must not
+     * alias dst.
+     */
+    static void multiply(Matrix &dst, const Matrix &a, const Matrix &b,
+                         Trans trans, const Epilogue &epilogue);
+
+    /** Same, on an explicitly chosen backend (throws if unavailable). */
+    static void multiply(Matrix &dst, const Matrix &a, const Matrix &b,
+                         Trans trans, const Epilogue &epilogue,
+                         Backend backend);
 
     /** The backend multiply() currently dispatches to. */
     static Backend active();
@@ -110,6 +260,41 @@ class Gemm
 
     /** Parse a VITALITY_GEMM value; nullopt on unrecognized text. */
     static std::optional<Backend> parseBackend(const std::string &name);
+
+    /**
+     * Install (or, with nullptr, remove) the intra-GEMM parallel
+     * runner. The runtime layer's ThreadPool installs itself here;
+     * call sites never touch this directly.
+     */
+    static void
+    setParallelRunner(std::shared_ptr<const ParallelRunner> runner);
+
+    /** The installed runner, or nullptr. */
+    static std::shared_ptr<const ParallelRunner> parallelRunner();
+
+    /**
+     * Cap the row-band fan-out (test hook; 0 = uncapped). The
+     * VITALITY_THREADS environment variable provides the same cap
+     * process-wide and is read once, lazily.
+     */
+    static void setMaxThreads(size_t cap);
+    static size_t maxThreads();
+
+    /**
+     * Bands a multiply() issued from the calling thread would fan out
+     * at most: the runner's width under the thread cap, 1 when no
+     * runner is installed. Benches record this next to pool_threads.
+     */
+    static size_t parallelWidth();
+
+    /** Active epilogue mode (VITALITY_EPILOGUE, resolved lazily). */
+    static EpilogueMode epilogueMode();
+
+    /** Force the epilogue mode (test/bench hook). */
+    static void setEpilogueMode(EpilogueMode mode);
+
+    /** "fused" or "unfused", for bench/trajectory reporting. */
+    static const char *epilogueModeName(EpilogueMode mode);
 };
 
 } // namespace vitality

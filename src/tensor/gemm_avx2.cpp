@@ -1,30 +1,51 @@
 /**
  * @file
  * AVX2+FMA GEMM backend: a 6x16 register-blocked microkernel over
- * packed operand panels.
+ * packed operand panels, with kc cache-blocking and a fused epilogue.
  *
  * This translation unit is compiled with -mavx2 -mfma and is only ever
  * entered after Gemm's runtime CPUID check, so it may use the AVX2 ISA
  * freely. The classic BLIS-style structure, sized for this workload
- * (attention-shaped GEMMs, k up to a few thousand):
+ * (attention-shaped GEMMs plus the DeiT MLP projections, k up to 3072):
  *
- *   - op(B) is packed once into k x 16 column panels, op(A) into 6 x k
- *     row panels, both zero-padded to full panel width so the microkernel
- *     never needs a ragged edge case. Panels live in a thread-local
- *     Workspace arena: after the first call with a given shape profile
- *     the packing buffers are recycled and the steady state performs no
- *     heap allocations (matching the AttentionContext design).
+ *   - op(B) is packed one kc x 16 column-panel chunk at a time, op(A)
+ *     into 6 x k row panels, both zero-padded to full panel width so the
+ *     microkernel never needs a ragged edge case. Panels live in a
+ *     thread-local Workspace arena through acquireAligned(), so packed
+ *     data starts on 32-byte boundaries (the kNr = 16 panel stride then
+ *     keeps every B-panel row aligned; the loads stay _mm256_loadu_ps
+ *     because an aligned loadu costs the same as an aligned load on
+ *     AVX2 hardware, while C-tile pointers are never alignment-
+ *     guaranteed anyway). After the first call with a given shape
+ *     profile the packing buffers are recycled and the steady state
+ *     performs no heap allocations (matching the AttentionContext
+ *     design).
+ *   - The k dimension is processed in kc = 256 chunks, outermost loop:
+ *     one chunk of every packed A panel (a few hundred KB for a full
+ *     197-row band) stays L2-resident across the whole column-panel
+ *     sweep, where an unbroken k sweep re-streamed megabytes of packed
+ *     A per column panel at the DeiT-Base MLP shapes. Partial sums
+ *     round-trip through float32 memory between chunks, which is exact,
+ *     so per element the accumulation is still one ascending-k sum —
+ *     the cross-backend tolerance contract in gemm.h is unchanged.
  *   - The microkernel holds a 6x16 tile of C in twelve ymm accumulators
- *     and walks k in ascending order with two FMAs per row per step —
- *     the same per-element accumulation order as the scalar backend, so
+ *     (optionally initialized from the previous chunk's partials) and
+ *     walks k in ascending order with two FMAs per row per step — the
+ *     same per-element accumulation order as the scalar backend, so
  *     backends differ only by FMA rounding (see gemm.h).
  *   - Full tiles store straight to C; edge tiles go through a 6x16
- *     scratch tile and copy only the valid region, so C is never written
- *     out of bounds.
+ *     scratch tile and copy only the valid region, so C is never read
+ *     or written out of bounds.
+ *   - On the final kc chunk the Epilogue (row-broadcast bias, tanh
+ *     GELU, accumulate-into-C) is applied in the tile's write-back —
+ *     one store pass instead of separate bias/activation/residual
+ *     sweeps over the finished output. With an accumulate epilogue the
+ *     inter-chunk partials are staged in a scratch band so the old C
+ *     (the residual stream) survives until that final fused store.
  *
- * There is deliberately no k-blocking: one unbroken k sweep keeps the
- * accumulation order identical to scalar, and the panels this workload
- * produces (k <= ~3k, 16 floats wide) sit comfortably in L1/L2.
+ * Only rows [rowBegin, rowEnd) of C are computed, so the dispatcher can
+ * fan microkernel-aligned row bands across a thread pool; rowBegin is
+ * always a multiple of the panel height.
  */
 
 #include <immintrin.h>
@@ -33,6 +54,8 @@
 #include <cstring>
 
 #include "tensor/gemm.h"
+#include "tensor/gemm_epilogue.h"
+#include "tensor/ops.h"
 #include "tensor/workspace.h"
 
 namespace vitality {
@@ -40,8 +63,9 @@ namespace detail {
 
 namespace {
 
-constexpr size_t kMr = 6;  ///< Microkernel rows (A panel height).
-constexpr size_t kNr = 16; ///< Microkernel cols (B panel width, 2 ymm).
+constexpr size_t kMr = 6;   ///< Microkernel rows (A panel height).
+constexpr size_t kNr = 16;  ///< Microkernel cols (B panel width, 2 ymm).
+constexpr size_t kKc = 256; ///< k-dimension cache-block depth.
 
 /**
  * Pack op(A) rows [i0, i0+rows) into a kMr x k panel, layout
@@ -76,29 +100,30 @@ packAPanel(float *pa, const Matrix &a, Gemm::Trans trans, size_t i0,
 }
 
 /**
- * Pack op(B) cols [j0, j0+cols) into a k x kNr panel, layout
- * pb[kk * kNr + c], zero-padded to kNr cols.
+ * Pack the [k0, k1) slice of op(B) cols [j0, j0+cols) into a
+ * (k1-k0) x kNr panel, layout pb[(kk-k0) * kNr + c], zero-padded to
+ * kNr cols.
  */
 void
 packBPanel(float *pb, const Matrix &b, Gemm::Trans trans, size_t j0,
-           size_t cols, size_t k)
+           size_t cols, size_t k0, size_t k1)
 {
     if (trans == Gemm::Trans::B) {
         // op(B)(kk, j) = b(j, kk): each packed column is a row of b.
         for (size_t c = 0; c < cols; ++c) {
             const float *brow = b.rowPtr(j0 + c);
-            for (size_t kk = 0; kk < k; ++kk)
-                pb[kk * kNr + c] = brow[kk];
+            for (size_t kk = k0; kk < k1; ++kk)
+                pb[(kk - k0) * kNr + c] = brow[kk];
         }
         for (size_t c = cols; c < kNr; ++c)
-            for (size_t kk = 0; kk < k; ++kk)
-                pb[kk * kNr + c] = 0.0f;
+            for (size_t kk = k0; kk < k1; ++kk)
+                pb[(kk - k0) * kNr + c] = 0.0f;
         return;
     }
     // op(B)(kk, j) = b(kk, j): contiguous strips per kk.
-    for (size_t kk = 0; kk < k; ++kk) {
+    for (size_t kk = k0; kk < k1; ++kk) {
         const float *brow = b.rowPtr(kk) + j0;
-        float *dst = pb + kk * kNr;
+        float *dst = pb + (kk - k0) * kNr;
         size_t c = 0;
         for (; c < cols; ++c)
             dst[c] = brow[c];
@@ -108,19 +133,38 @@ packBPanel(float *pb, const Matrix &b, Gemm::Trans trans, size_t j0,
 }
 
 /**
- * C[0:6, 0:16] = A-panel * B-panel over k steps, C with row stride ldc.
- * Twelve ymm accumulators, k ascending, FMA per step.
+ * cout[0:6, 0:16] = (cin ? cin : 0) + A-panel * B-panel over k steps.
+ * cin carries the previous kc chunk's partial sums (row stride ldcin);
+ * the raw result is stored to cout (row stride ldcout). cin may equal
+ * cout: every load happens before the first store. Twelve ymm
+ * accumulators, k ascending, FMA per step.
  */
 void
-microKernel6x16(size_t k, const float *pa, const float *pb, float *c,
-                size_t ldc)
+microKernel6x16(size_t k, const float *pa, const float *pb,
+                const float *cin, size_t ldcin, float *cout,
+                size_t ldcout)
 {
-    __m256 acc00 = _mm256_setzero_ps(), acc01 = _mm256_setzero_ps();
-    __m256 acc10 = _mm256_setzero_ps(), acc11 = _mm256_setzero_ps();
-    __m256 acc20 = _mm256_setzero_ps(), acc21 = _mm256_setzero_ps();
-    __m256 acc30 = _mm256_setzero_ps(), acc31 = _mm256_setzero_ps();
-    __m256 acc40 = _mm256_setzero_ps(), acc41 = _mm256_setzero_ps();
-    __m256 acc50 = _mm256_setzero_ps(), acc51 = _mm256_setzero_ps();
+    __m256 acc00, acc01, acc10, acc11, acc20, acc21;
+    __m256 acc30, acc31, acc40, acc41, acc50, acc51;
+    if (cin) {
+        acc00 = _mm256_loadu_ps(cin + 0 * ldcin);
+        acc01 = _mm256_loadu_ps(cin + 0 * ldcin + 8);
+        acc10 = _mm256_loadu_ps(cin + 1 * ldcin);
+        acc11 = _mm256_loadu_ps(cin + 1 * ldcin + 8);
+        acc20 = _mm256_loadu_ps(cin + 2 * ldcin);
+        acc21 = _mm256_loadu_ps(cin + 2 * ldcin + 8);
+        acc30 = _mm256_loadu_ps(cin + 3 * ldcin);
+        acc31 = _mm256_loadu_ps(cin + 3 * ldcin + 8);
+        acc40 = _mm256_loadu_ps(cin + 4 * ldcin);
+        acc41 = _mm256_loadu_ps(cin + 4 * ldcin + 8);
+        acc50 = _mm256_loadu_ps(cin + 5 * ldcin);
+        acc51 = _mm256_loadu_ps(cin + 5 * ldcin + 8);
+    } else {
+        acc00 = acc01 = acc10 = acc11 = acc20 = acc21 =
+            _mm256_setzero_ps();
+        acc30 = acc31 = acc40 = acc41 = acc50 = acc51 =
+            _mm256_setzero_ps();
+    }
     for (size_t kk = 0; kk < k; ++kk) {
         const __m256 b0 = _mm256_loadu_ps(pb + kk * kNr);
         const __m256 b1 = _mm256_loadu_ps(pb + kk * kNr + 8);
@@ -145,66 +189,168 @@ microKernel6x16(size_t k, const float *pa, const float *pb, float *c,
         acc50 = _mm256_fmadd_ps(ar, b0, acc50);
         acc51 = _mm256_fmadd_ps(ar, b1, acc51);
     }
-    _mm256_storeu_ps(c + 0 * ldc, acc00);
-    _mm256_storeu_ps(c + 0 * ldc + 8, acc01);
-    _mm256_storeu_ps(c + 1 * ldc, acc10);
-    _mm256_storeu_ps(c + 1 * ldc + 8, acc11);
-    _mm256_storeu_ps(c + 2 * ldc, acc20);
-    _mm256_storeu_ps(c + 2 * ldc + 8, acc21);
-    _mm256_storeu_ps(c + 3 * ldc, acc30);
-    _mm256_storeu_ps(c + 3 * ldc + 8, acc31);
-    _mm256_storeu_ps(c + 4 * ldc, acc40);
-    _mm256_storeu_ps(c + 4 * ldc + 8, acc41);
-    _mm256_storeu_ps(c + 5 * ldc, acc50);
-    _mm256_storeu_ps(c + 5 * ldc + 8, acc51);
+    _mm256_storeu_ps(cout + 0 * ldcout, acc00);
+    _mm256_storeu_ps(cout + 0 * ldcout + 8, acc01);
+    _mm256_storeu_ps(cout + 1 * ldcout, acc10);
+    _mm256_storeu_ps(cout + 1 * ldcout + 8, acc11);
+    _mm256_storeu_ps(cout + 2 * ldcout, acc20);
+    _mm256_storeu_ps(cout + 2 * ldcout + 8, acc21);
+    _mm256_storeu_ps(cout + 3 * ldcout, acc30);
+    _mm256_storeu_ps(cout + 3 * ldcout + 8, acc31);
+    _mm256_storeu_ps(cout + 4 * ldcout, acc40);
+    _mm256_storeu_ps(cout + 4 * ldcout + 8, acc41);
+    _mm256_storeu_ps(cout + 5 * ldcout, acc50);
+    _mm256_storeu_ps(cout + 5 * ldcout + 8, acc51);
+}
+
+/**
+ * The fused write-back: push the finished raw-product tile through the
+ * epilogue into dst. Full-width tiles take the vectorized path; ragged
+ * edges go through the shared scalar helper (gemm_epilogue.h). The two
+ * agree bitwise because a vector float add is the same rounding as a
+ * scalar float add lane by lane — the vector path is the one
+ * intentional second copy of the canonical element order. Only the
+ * GELU stays scalar (it is a std::tanh per element in every path,
+ * fused or not).
+ */
+void
+epilogueStoreTile(float *tile, Matrix &dst, size_t i0, size_t j0,
+                  size_t mEff, size_t nEff, const Gemm::Epilogue &ep)
+{
+    const float *bias = ep.bias ? ep.bias->rowPtr(0) + j0 : nullptr;
+    if (nEff == kNr) {
+        __m256 b0 = _mm256_setzero_ps(), b1 = _mm256_setzero_ps();
+        if (bias) {
+            b0 = _mm256_loadu_ps(bias);
+            b1 = _mm256_loadu_ps(bias + 8);
+        }
+        for (size_t r = 0; r < mEff; ++r) {
+            float *src = tile + r * kNr;
+            __m256 v0 = _mm256_loadu_ps(src);
+            __m256 v1 = _mm256_loadu_ps(src + 8);
+            if (bias) {
+                v0 = _mm256_add_ps(v0, b0);
+                v1 = _mm256_add_ps(v1, b1);
+            }
+            if (ep.act == Gemm::Epilogue::Act::Gelu) {
+                _mm256_storeu_ps(src, v0);
+                _mm256_storeu_ps(src + 8, v1);
+                for (size_t c = 0; c < kNr; ++c)
+                    src[c] = geluScalar(src[c]);
+                v0 = _mm256_loadu_ps(src);
+                v1 = _mm256_loadu_ps(src + 8);
+            }
+            float *out = dst.rowPtr(i0 + r) + j0;
+            if (ep.accumulate) {
+                v0 = _mm256_add_ps(_mm256_loadu_ps(out), v0);
+                v1 = _mm256_add_ps(_mm256_loadu_ps(out + 8), v1);
+            }
+            _mm256_storeu_ps(out, v0);
+            _mm256_storeu_ps(out + 8, v1);
+        }
+        return;
+    }
+    for (size_t r = 0; r < mEff; ++r)
+        epilogueApplyRow(dst.rowPtr(i0 + r) + j0, tile + r * kNr, bias,
+                         nEff, ep.accumulate,
+                         ep.act == Gemm::Epilogue::Act::Gelu);
 }
 
 } // namespace
 
 void
-gemmAvx2(Matrix &dst, const Matrix &a, const Matrix &b, Gemm::Trans trans)
+gemmAvx2(Matrix &dst, const Matrix &a, const Matrix &b, Gemm::Trans trans,
+         size_t rowBegin, size_t rowEnd, const Gemm::Epilogue &ep)
 {
-    const size_t m = dst.rows(), n = dst.cols();
+    const size_t n = dst.cols();
     const size_t k = trans == Gemm::Trans::A ? a.rows() : a.cols();
-    const size_t mPanels = (m + kMr - 1) / kMr;
+    const size_t mBand = rowEnd - rowBegin;
+    const size_t mPanels = (mBand + kMr - 1) / kMr;
     const size_t nPanels = (n + kNr - 1) / kNr;
+    const size_t chunks = (k + kKc - 1) / kKc;
 
     // Gemm-private packing arena: per worker thread, recycled across
     // calls, so hot-path multiplies allocate nothing in steady state.
-    // op(A) is packed whole (it is swept once per B panel); op(B) is
-    // packed one kNr-wide panel at a time — each panel is packed
-    // exactly once either way, but the arena then holds k * 16 floats
-    // of B instead of a full padded copy of the largest operand any
-    // worker ever multiplied.
+    // op(A) is packed whole (each kc chunk of it is swept once per B
+    // panel); op(B) is packed one kc x kNr chunk at a time.
     static thread_local Workspace tls;
     Workspace::Frame frame(tls);
-    float *packedA = tls.acquire(1, mPanels * k * kMr).data();
-    float *pb = tls.acquire(1, k * kNr).data();
-    float *tile = tls.acquire(1, kMr * kNr).data();
+    float *packedA = tls.acquireAligned(mPanels * k * kMr);
+    float *pb = tls.acquireAligned(std::min(k, kKc) * kNr);
+    float *tile = tls.acquireAligned(kMr * kNr);
+    // With an accumulate epilogue the old C must survive until the
+    // fused store of the last chunk, so inter-chunk partials live in a
+    // scratch band instead of dst.
+    float *partial = (ep.accumulate && chunks > 1)
+                         ? tls.acquireAligned(mBand * n)
+                         : nullptr;
+    // Raw-product row r (global index) of the partial storage.
+    const auto prow = [&](size_t r) -> float * {
+        return partial ? partial + (r - rowBegin) * n : dst.rowPtr(r);
+    };
 
     for (size_t ip = 0; ip < mPanels; ++ip) {
-        const size_t i0 = ip * kMr;
+        const size_t i0 = rowBegin + ip * kMr;
         packAPanel(packedA + ip * k * kMr, a, trans, i0,
-                   std::min(kMr, m - i0), k);
+                   std::min(kMr, rowEnd - i0), k);
     }
 
-    for (size_t jp = 0; jp < nPanels; ++jp) {
-        const size_t j0 = jp * kNr;
-        const size_t nEff = std::min(kNr, n - j0);
-        packBPanel(pb, b, trans, j0, nEff, k);
-        for (size_t ip = 0; ip < mPanels; ++ip) {
-            const size_t i0 = ip * kMr;
-            const size_t mEff = std::min(kMr, m - i0);
-            const float *pa = packedA + ip * k * kMr;
-            if (mEff == kMr && nEff == kNr) {
-                microKernel6x16(k, pa, pb, dst.rowPtr(i0) + j0, n);
-            } else {
-                // Ragged edge: land in the scratch tile, copy the
-                // valid region so C is never written out of bounds.
-                microKernel6x16(k, pa, pb, tile, kNr);
-                for (size_t r = 0; r < mEff; ++r)
-                    std::memcpy(dst.rowPtr(i0 + r) + j0, tile + r * kNr,
-                                nEff * sizeof(float));
+    // kc chunks outermost: one chunk of all packed A panels stays
+    // cache-resident across the full column-panel sweep.
+    for (size_t chunk = 0; chunk < chunks; ++chunk) {
+        const size_t k0 = chunk * kKc;
+        const size_t k1 = std::min(k0 + kKc, k);
+        const bool last = chunk + 1 == chunks;
+        for (size_t jp = 0; jp < nPanels; ++jp) {
+            const size_t j0 = jp * kNr;
+            const size_t nEff = std::min(kNr, n - j0);
+            packBPanel(pb, b, trans, j0, nEff, k0, k1);
+            for (size_t ip = 0; ip < mPanels; ++ip) {
+                const size_t i0 = rowBegin + ip * kMr;
+                const size_t mEff = std::min(kMr, rowEnd - i0);
+                const float *pa = packedA + ip * k * kMr + k0 * kMr;
+                const bool fullTile = mEff == kMr && nEff == kNr;
+                // The last chunk of a non-trivial epilogue goes through
+                // the fused store; earlier chunks park raw partials.
+                const bool fuse = last && !ep.trivial();
+
+                const float *cin = nullptr;
+                size_t ldcin = n;
+                if (chunk > 0) {
+                    if (fullTile) {
+                        cin = prow(i0) + j0;
+                    } else {
+                        // Stage the valid region so the microkernel
+                        // never reads past a ragged edge; the padded
+                        // lanes hold garbage that only ever feeds
+                        // discarded lanes.
+                        for (size_t r = 0; r < mEff; ++r)
+                            std::memcpy(tile + r * kNr,
+                                        prow(i0 + r) + j0,
+                                        nEff * sizeof(float));
+                        cin = tile;
+                        ldcin = kNr;
+                    }
+                }
+
+                if (!fuse && fullTile) {
+                    microKernel6x16(k1 - k0, pa, pb, cin, ldcin,
+                                    prow(i0) + j0, n);
+                } else {
+                    microKernel6x16(k1 - k0, pa, pb, cin, ldcin, tile,
+                                    kNr);
+                    if (fuse) {
+                        epilogueStoreTile(tile, dst, i0, j0, mEff, nEff,
+                                          ep);
+                    } else {
+                        // Ragged edge: copy only the valid region so C
+                        // is never written out of bounds.
+                        for (size_t r = 0; r < mEff; ++r)
+                            std::memcpy(prow(i0 + r) + j0,
+                                        tile + r * kNr,
+                                        nEff * sizeof(float));
+                    }
+                }
             }
         }
     }

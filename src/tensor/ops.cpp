@@ -507,6 +507,30 @@ expElem(const Matrix &a)
     return c;
 }
 
+float
+geluScalar(float x)
+{
+    const float kSqrt2OverPi = 0.7978845608f;
+    const float inner = kSqrt2OverPi * (x + 0.044715f * x * x * x);
+    return 0.5f * x * (1.0f + std::tanh(inner));
+}
+
+void
+geluInto(Matrix &dst, const Matrix &a)
+{
+    dst.resize(a.rows(), a.cols());
+    for (size_t i = 0; i < a.size(); ++i)
+        dst.data()[i] = geluScalar(a.data()[i]);
+}
+
+Matrix
+gelu(const Matrix &a)
+{
+    Matrix c;
+    geluInto(c, a);
+    return c;
+}
+
 void
 mapElemInto(Matrix &dst, const Matrix &a,
             const std::function<float(float)> &fn)

@@ -35,6 +35,21 @@
 
 namespace vitality {
 
+/**
+ * Tanh-approximation GELU, the variant ViT/DeiT checkpoints use:
+ *   0.5 x (1 + tanh(sqrt(2/pi) (x + 0.044715 x^3)))
+ * Deliberately defined once in ops.cpp (baseline ISA) rather than
+ * inline: the GEMM backends call it from their fused write-back, and
+ * an inline definition would also be emitted by the -mavx2 -mfma
+ * translation unit — in unoptimized builds the linker may then keep
+ * that VEX-encoded copy for every caller, breaking the scalar path on
+ * hosts the runtime CPUID dispatch exists to support. The call cost is
+ * noise next to the std::tanh inside, and a single definition makes
+ * "fused epilogue matches the ops-layer GELU bitwise" true by
+ * construction.
+ */
+float geluScalar(float x);
+
 /** C = A * B. A is m x k, B is k x n. */
 Matrix matmul(const Matrix &a, const Matrix &b);
 
@@ -97,6 +112,9 @@ Matrix softmaxRows(const Matrix &a);
 
 /** Element-wise exp. */
 Matrix expElem(const Matrix &a);
+
+/** Element-wise tanh-approximation GELU (geluScalar per entry). */
+Matrix gelu(const Matrix &a);
 
 /** Apply fn to every element. */
 Matrix mapElem(const Matrix &a, const std::function<float(float)> &fn);
@@ -167,6 +185,7 @@ void scaleRowsInto(Matrix &dst, const Matrix &a, const Matrix &v);
 void divRowsInto(Matrix &dst, const Matrix &a, const Matrix &v);
 void softmaxRowsInto(Matrix &dst, const Matrix &a);
 void expElemInto(Matrix &dst, const Matrix &a);
+void geluInto(Matrix &dst, const Matrix &a);
 void mapElemInto(Matrix &dst, const Matrix &a,
                  const std::function<float(float)> &fn);
 void layerNormRowsInto(Matrix &dst, const Matrix &a, const Matrix &gamma,

@@ -1,5 +1,8 @@
 #include "tensor/workspace.h"
 
+#include <cstdint>
+#include <stdexcept>
+
 namespace vitality {
 
 Matrix &
@@ -18,6 +21,22 @@ Workspace::acquireZeroed(size_t rows, size_t cols)
     Matrix &m = acquire(rows, cols);
     m.fill(0.0f);
     return m;
+}
+
+float *
+Workspace::acquireAligned(size_t count, size_t alignBytes)
+{
+    if (alignBytes == 0 || (alignBytes & (alignBytes - 1)) != 0 ||
+        alignBytes % alignof(float) != 0) {
+        throw std::invalid_argument(
+            "Workspace::acquireAligned: alignment must be a power of "
+            "two multiple of alignof(float)");
+    }
+    const size_t slack = alignBytes / sizeof(float);
+    Matrix &m = acquire(1, count + slack);
+    const uintptr_t raw = reinterpret_cast<uintptr_t>(m.data());
+    const uintptr_t aligned = (raw + alignBytes - 1) & ~(uintptr_t(alignBytes) - 1);
+    return reinterpret_cast<float *>(aligned);
 }
 
 size_t

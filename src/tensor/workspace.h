@@ -47,6 +47,17 @@ class Workspace
     /** acquire() followed by a zero fill, for accumulation targets. */
     Matrix &acquireZeroed(size_t rows, size_t cols);
 
+    /**
+     * Check out a flat buffer of count floats whose start is aligned to
+     * alignBytes (a power of two, multiple of alignof(float)). Matrix
+     * storage is only malloc-aligned (16 bytes on glibc), so the GEMM
+     * backends use this for their packed panels: the slot over-allocates
+     * by one alignment unit and the returned pointer is rounded up
+     * inside it. Lifetime rules match acquire(): valid until the
+     * enclosing Frame rewinds or reset().
+     */
+    float *acquireAligned(size_t count, size_t alignBytes = 32);
+
     /** Return every slot to the pool. Storage is retained for reuse. */
     void reset() { used_ = 0; }
 

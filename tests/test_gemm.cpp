@@ -2,10 +2,13 @@
  * @file
  * GEMM backend tests: exhaustive scalar-vs-AVX2 parity over ragged
  * shapes and every transpose mode against a float64 reference under the
- * documented tolerance (gemm.h), dispatcher plumbing (env parsing,
- * availability, explicit-backend calls), aliasing and zero-dimension
- * rules, destination recycling, and cross-backend parity of the whole
- * batched multi-head forward.
+ * documented tolerance (gemm.h), deep-K shapes through the AVX2 kc
+ * cache-blocking, fused-epilogue bitwise parity against the unfused op
+ * sequence for every {accumulate, bias, gelu} combination on both
+ * backends (including K=3072), epilogue validation rules, dispatcher
+ * plumbing (env parsing, availability, explicit-backend calls),
+ * aliasing and zero-dimension rules, destination recycling, and
+ * cross-backend parity of the whole batched multi-head forward.
  *
  * The AVX2 legs are skipped (with a notice) when the backend is not
  * available — scalar-only builds and non-AVX2 hosts still run the
@@ -254,6 +257,197 @@ testZeroDimsAndRecycling()
 }
 
 /**
+ * Deep-K shapes drive the AVX2 backend through its kc cache-blocking
+ * (chunks of 256): partial sums round-trip through float32 memory
+ * between chunks, which is exact, so the documented tolerance against
+ * the float64 reference must hold unchanged. K values straddle the
+ * chunk boundary (256, 257, 517 = 2 chunks + remainder, 3072 = the
+ * DeiT-Base MLP depth).
+ */
+void
+testDeepKCacheBlocking()
+{
+    struct Shape
+    {
+        size_t m, n, k;
+    };
+    const std::vector<Shape> shapes = {
+        {7, 17, 3072}, {19, 33, 517}, {64, 16, 256}, {6, 16, 257}};
+    const std::vector<Gemm::Trans> modes = {
+        Gemm::Trans::None, Gemm::Trans::A, Gemm::Trans::B};
+
+    Rng rng(0x6e55);
+    Matrix a, b, c;
+    for (const Shape &s : shapes) {
+        for (Gemm::Trans trans : modes) {
+            makeOperands(a, b, trans, s.m, s.n, s.k, rng);
+            for (Gemm::Backend backend :
+                 {Gemm::Backend::Scalar, Gemm::Backend::Avx2}) {
+                if (backend == Gemm::Backend::Avx2 && !avx2Here())
+                    continue;
+                Gemm::multiply(c, a, b, trans, backend);
+                const size_t bad =
+                    checkAgainstRef(c, a, b, trans, s.m, s.n, s.k);
+                if (bad != 0) {
+                    std::printf("  %s %s m=%zu n=%zu k=%zu: %zu elems "
+                                "out of tolerance\n",
+                                Gemm::backendName(backend),
+                                transName(trans), s.m, s.n, s.k, bad);
+                    T_CHECK(bad == 0);
+                }
+            }
+        }
+    }
+}
+
+/**
+ * Apply ep to a finished plain product the way the separate op passes
+ * would: bias pass, activation pass, residual add. The fused write-back
+ * documents exactly this element order, so fused results must match
+ * this reference bitwise on the same backend.
+ */
+void
+unfusedReference(Matrix &dst, const Matrix &a, const Matrix &b,
+                 Gemm::Trans trans, const Gemm::Epilogue &ep,
+                 Gemm::Backend backend)
+{
+    Matrix product;
+    Gemm::multiply(product, a, b, trans, backend);
+    if (ep.bias)
+        broadcastAddRowInto(product, product, *ep.bias);
+    if (ep.act == Gemm::Epilogue::Act::Gelu)
+        geluInto(product, product);
+    if (ep.accumulate)
+        addInto(dst, dst, product);
+    else
+        dst.copyFrom(product);
+}
+
+void
+testFusedEpilogueParity()
+{
+    struct Shape
+    {
+        size_t m, n, k;
+    };
+    // Ragged shapes straddling every microkernel boundary, one exact
+    // 6x16 tile, the attention shape, and a kc-blocked K=3072 (the
+    // DeiT-Base MLP down-projection depth).
+    const std::vector<Shape> shapes = {
+        {1, 1, 1}, {5, 7, 3}, {6, 16, 64}, {197, 64, 197}, {13, 35, 3072}};
+    const std::vector<Gemm::Trans> modes = {
+        Gemm::Trans::None, Gemm::Trans::A, Gemm::Trans::B};
+
+    Rng rng(0x6e66);
+    Matrix a, b, fused, ref, fusedViaMode;
+    // Restore whatever mode the run started in (it may be the env
+    // override under test, e.g. VITALITY_EPILOGUE=unfused).
+    const Gemm::EpilogueMode modeBefore = Gemm::epilogueMode();
+    size_t combos = 0;
+    for (const Shape &s : shapes) {
+        for (Gemm::Trans trans : modes) {
+            makeOperands(a, b, trans, s.m, s.n, s.k, rng);
+            const Matrix bias = Matrix::randn(1, s.n, rng);
+            const Matrix init = Matrix::randn(s.m, s.n, rng);
+            for (int acc = 0; acc < 2; ++acc) {
+                for (int withBias = 0; withBias < 2; ++withBias) {
+                    for (int withGelu = 0; withGelu < 2; ++withGelu) {
+                        Gemm::Epilogue ep;
+                        ep.accumulate = acc != 0;
+                        ep.bias = withBias ? &bias : nullptr;
+                        ep.act = withGelu ? Gemm::Epilogue::Act::Gelu
+                                          : Gemm::Epilogue::Act::None;
+                        for (Gemm::Backend backend :
+                             {Gemm::Backend::Scalar,
+                              Gemm::Backend::Avx2}) {
+                            if (backend == Gemm::Backend::Avx2 &&
+                                !avx2Here())
+                                continue;
+                            fused.copyFrom(init);
+                            Gemm::multiply(fused, a, b, trans, ep,
+                                           backend);
+                            ref.copyFrom(init);
+                            unfusedReference(ref, a, b, trans, ep,
+                                             backend);
+                            if (fused != ref) {
+                                std::printf(
+                                    "  %s %s m=%zu n=%zu k=%zu "
+                                    "acc=%d bias=%d gelu=%d: fused != "
+                                    "unfused (max diff %g)\n",
+                                    Gemm::backendName(backend),
+                                    transName(trans), s.m, s.n, s.k,
+                                    acc, withBias, withGelu,
+                                    static_cast<double>(
+                                        maxAbsDiff(fused, ref)));
+                                T_CHECK(fused == ref);
+                            }
+                            // The unfused *mode* (the VITALITY_EPILOGUE
+                            // fallback) is bitwise-identical too.
+                            Gemm::setEpilogueMode(
+                                Gemm::EpilogueMode::Unfused);
+                            fusedViaMode.copyFrom(init);
+                            Gemm::multiply(fusedViaMode, a, b, trans,
+                                           ep, backend);
+                            Gemm::setEpilogueMode(modeBefore);
+                            T_CHECK(fusedViaMode == fused);
+                            ++combos;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    std::printf("  %zu fused-epilogue combos checked (avx2 %s)\n", combos,
+                avx2Here() ? "on" : "absent, scalar only");
+}
+
+void
+testEpilogueValidation()
+{
+    Rng rng(0x6e77);
+    const Matrix a = Matrix::randn(5, 3, rng);
+    const Matrix b = Matrix::randn(3, 7, rng);
+    Matrix d;
+
+    // Bias must be a 1 x n row vector.
+    const Matrix badBias = Matrix::randn(1, 6, rng);
+    T_CHECK_THROWS(Gemm::multiply(d, a, b, Gemm::Trans::None,
+                                  Gemm::Epilogue::withBias(badBias)),
+                   std::invalid_argument);
+    const Matrix colBias = Matrix::randn(7, 1, rng);
+    T_CHECK_THROWS(Gemm::multiply(d, a, b, Gemm::Trans::None,
+                                  Gemm::Epilogue::withBias(colBias)),
+                   std::invalid_argument);
+
+    // Accumulate requires a preshaped destination: its contents are
+    // inputs, so a silently resized dst would accumulate garbage.
+    Matrix wrongShape = Matrix::randn(5, 6, rng);
+    const Matrix goodBias = Matrix::randn(1, 7, rng);
+    T_CHECK_THROWS(
+        Gemm::multiply(wrongShape, a, b, Gemm::Trans::None,
+                       Gemm::Epilogue::accumulateWithBias(goodBias)),
+        std::invalid_argument);
+
+    // Bias aliasing dst would be read while being overwritten.
+    Matrix aliased = Matrix::randn(1, 7, rng);
+    const Matrix arow = Matrix::randn(1, 3, rng);
+    T_CHECK_THROWS(Gemm::multiply(aliased, arow, b, Gemm::Trans::None,
+                                  Gemm::Epilogue::withBias(aliased)),
+                   std::invalid_argument);
+
+    // k = 0 with an epilogue: the product is all zeros, the epilogue
+    // still applies (bias lands, accumulate preserves dst).
+    const Matrix a0(4, 0);
+    const Matrix b0(0, 7);
+    Matrix acc0 = Matrix::randn(4, 7, rng);
+    const Matrix before = acc0;
+    Gemm::multiply(acc0, a0, b0, Gemm::Trans::None,
+                   Gemm::Epilogue::accumulateWithBias(goodBias));
+    T_CHECK(acc0 == add(before, broadcastAddRow(Matrix::zeros(4, 7),
+                                                goodBias)));
+}
+
+/**
  * The acceptance-level check: the whole batched multi-head forward
  * agrees across backends. Each backend is deterministic; across
  * backends the attention outputs (convex combinations of V after
@@ -310,6 +504,9 @@ main()
     testDispatcherPlumbing();
     testAliasingAndShapeRules();
     testZeroDimsAndRecycling();
+    testDeepKCacheBlocking();
+    testFusedEpilogueParity();
+    testEpilogueValidation();
     testForwardBatchCrossBackendParity();
     return vitality::testing::finish("test_gemm");
 }

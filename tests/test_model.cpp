@@ -232,6 +232,41 @@ testEncoderRejectsConcurrentCalls()
 }
 
 void
+testEncoderMatchesUnfusedReference()
+{
+    // The encoder's dense stages are single fused GEMM calls (bias,
+    // GELU, and residual in the write-back). The fused epilogue is
+    // documented to be bitwise-identical to the separate op passes, so
+    // a hand-rolled one-layer reference built from the value ops must
+    // match the encoder output exactly.
+    const VitConfig cfg{"Test-1L", 1, 2, 16, 9, 32};
+    cfg.validate();
+    Rng rng(0x34aa);
+    const Matrix x = Matrix::randn(cfg.tokens, cfg.dModel, rng);
+    ThreadPool pool(2);
+
+    VitEncoder encoder(cfg, makeAttention(AttentionType::Taylor), 0xabc);
+    const Matrix y = encoder.forward(x, pool);
+
+    const VitEncoder::LayerWeights &w = encoder.layer(0);
+    MultiHeadAttention mha(makeAttention(AttentionType::Taylor),
+                           cfg.heads);
+    const Matrix normed1 = layerNormRows(x, w.ln1Gamma, w.ln1Beta);
+    const Matrix q = broadcastAddRow(matmul(normed1, w.wq), w.bq);
+    const Matrix k = broadcastAddRow(matmul(normed1, w.wk), w.bk);
+    const Matrix v = broadcastAddRow(matmul(normed1, w.wv), w.bv);
+    const Matrix attn = mha.forwardSequential(q, k, v);
+    const Matrix xr =
+        add(x, broadcastAddRow(matmul(attn, w.wo), w.bo));
+    const Matrix normed2 = layerNormRows(xr, w.ln2Gamma, w.ln2Beta);
+    const Matrix hidden =
+        gelu(broadcastAddRow(matmul(normed2, w.w1), w.b1));
+    const Matrix ref =
+        add(xr, broadcastAddRow(matmul(hidden, w.w2), w.b2));
+    T_CHECK(y == ref);
+}
+
+void
 testDeitTinyBatchParity()
 {
     // One real-preset spot check: DeiT-Tiny, Taylor, B=2.
@@ -255,6 +290,7 @@ main()
     testOpCountRollup();
     testEncoderBatchMatchesPerImage();
     testEncoderRejectsConcurrentCalls();
+    testEncoderMatchesUnfusedReference();
     testDeitTinyBatchParity();
     return vitality::testing::finish("test_model");
 }

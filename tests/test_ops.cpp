@@ -6,6 +6,8 @@
  * recycling through a Workspace).
  */
 
+#include <cmath>
+#include <cstdint>
 #include <stdexcept>
 
 #include "base/rng.h"
@@ -234,6 +236,68 @@ testWorkspaceRecycling()
     T_CHECK(maxAbs(z) == 0.0f);
 }
 
+void
+testGelu()
+{
+    // geluScalar is the scalar reference the fused GEMM epilogue must
+    // reproduce bitwise, so pin its closed form at a few points.
+    T_CHECK(geluScalar(0.0f) == 0.0f);
+    T_CHECK_CLOSE(geluScalar(10.0f), 10.0f, 1e-4);
+    T_CHECK_CLOSE(geluScalar(-10.0f), 0.0f, 1e-4);
+    // Published value of tanh-GELU at 1.0, and the reflection identity
+    // gelu(x) - gelu(-x) == x (since gelu(x) = x * sigmoid-like(x)).
+    T_CHECK_CLOSE(geluScalar(1.0f), 0.841192f, 1e-5);
+    for (float x : {-3.0f, -0.7f, 0.3f, 2.5f})
+        T_CHECK_CLOSE(geluScalar(x) - geluScalar(-x), x, 1e-5);
+    // Against the formula computed independently in double precision.
+    for (float x = -4.0f; x <= 4.0f; x += 0.37f) {
+        const double pi = 3.14159265358979323846;
+        const double inner =
+            std::sqrt(2.0 / pi) * (x + 0.044715 * x * x * x);
+        const double ref = 0.5 * x * (1.0 + std::tanh(inner));
+        T_CHECK_CLOSE(geluScalar(x), ref, 1e-5);
+    }
+
+    Rng rng(0x6e1a);
+    const Matrix a = Matrix::randn(7, 13, rng);
+    const Matrix g = gelu(a);
+    T_CHECK(g.rows() == a.rows() && g.cols() == a.cols());
+    for (size_t i = 0; i < a.size(); ++i)
+        T_CHECK(g.data()[i] == geluScalar(a.data()[i]));
+
+    // The Into form matches its value twin and supports dst == a.
+    Matrix into;
+    geluInto(into, a);
+    T_CHECK(into == g);
+    Matrix inplace = a;
+    geluInto(inplace, inplace);
+    T_CHECK(inplace == g);
+}
+
+void
+testWorkspaceAlignedAcquire()
+{
+    Workspace ws;
+    Workspace::Frame frame(ws);
+    // Packed GEMM panels ride this: every returned pointer must be
+    // 32-byte aligned regardless of the requested count, and the whole
+    // requested extent must be writable (ASan in CI verifies the
+    // latter for real).
+    for (size_t count : {1ul, 5ul, 96ul, 197ul * 16, 6ul * 3072}) {
+        float *p = ws.acquireAligned(count);
+        T_CHECK(reinterpret_cast<uintptr_t>(p) % 32 == 0);
+        for (size_t i = 0; i < count; ++i)
+            p[i] = static_cast<float>(i);
+        T_CHECK(p[0] == 0.0f && p[count - 1] == float(count - 1));
+    }
+    // Other power-of-two alignments hold too; bad alignments throw.
+    T_CHECK(reinterpret_cast<uintptr_t>(ws.acquireAligned(8, 64)) % 64 ==
+            0);
+    T_CHECK_THROWS(ws.acquireAligned(8, 0), std::invalid_argument);
+    T_CHECK_THROWS(ws.acquireAligned(8, 48), std::invalid_argument);
+    T_CHECK_THROWS(ws.acquireAligned(8, 2), std::invalid_argument);
+}
+
 } // namespace
 
 int
@@ -245,5 +309,7 @@ main()
     testLayerNorm();
     testIntoVariantsMatchValueTwins();
     testWorkspaceRecycling();
+    testGelu();
+    testWorkspaceAlignedAcquire();
     return vitality::testing::finish("test_ops");
 }

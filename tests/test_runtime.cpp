@@ -19,6 +19,7 @@
 #include "runtime/multi_head_attention.h"
 #include "runtime/thread_pool.h"
 #include "tensor/batch.h"
+#include "tensor/gemm.h"
 #include "tensor/ops.h"
 #include "testing.h"
 
@@ -67,6 +68,96 @@ testThreadPoolPropagatesExceptions()
     std::atomic<int> count{0};
     pool.parallelFor(0, 8, [&](size_t, size_t) { count.fetch_add(1); });
     T_CHECK(count.load() == 8);
+}
+
+void
+testWorkerThreadFlag()
+{
+    T_CHECK(!ThreadPool::onWorkerThread());
+    ThreadPool pool(2);
+    std::atomic<int> onWorker{0};
+    pool.parallelFor(0, 8, [&](size_t, size_t) {
+        if (ThreadPool::onWorkerThread())
+            onWorker.fetch_add(1);
+    });
+    T_CHECK(onWorker.load() == 8);
+    T_CHECK(!ThreadPool::onWorkerThread());
+}
+
+void
+testIntraGemmRowBands()
+{
+    const size_t prevCap = Gemm::maxThreads();
+    {
+        ThreadPool pool(4);
+        // The first live pool installs itself as the Gemm runner.
+        T_CHECK(Gemm::parallelRunner() != nullptr);
+
+        Rng rng(0x99c0);
+        // Large enough to clear the size heuristic and band across the
+        // pool (when no VITALITY_THREADS cap pins the suite to 1).
+        const Matrix a = Matrix::randn(197, 384, rng);
+        const Matrix b = Matrix::randn(384, 512, rng);
+
+        Matrix banded;
+        Gemm::multiply(banded, a, b);
+        // Row bands partition the output; every element is still one
+        // ascending-k sum, so any band count is bitwise-identical to
+        // the sequential call.
+        Gemm::setMaxThreads(1);
+        Matrix sequential;
+        Gemm::multiply(sequential, a, b);
+        Gemm::setMaxThreads(prevCap);
+        T_CHECK(banded == sequential);
+
+        // Banding composes with the fused epilogue, still bitwise.
+        const Matrix bias = Matrix::randn(1, 512, rng);
+        const Matrix init = Matrix::randn(197, 512, rng);
+        Gemm::Epilogue ep;
+        ep.accumulate = true;
+        ep.bias = &bias;
+        ep.act = Gemm::Epilogue::Act::Gelu;
+        Matrix fusedBanded = init;
+        Gemm::multiply(fusedBanded, a, b, Gemm::Trans::None, ep);
+        Gemm::setMaxThreads(1);
+        Matrix fusedSeq = init;
+        Gemm::multiply(fusedSeq, a, b, Gemm::Trans::None, ep);
+        Gemm::setMaxThreads(prevCap);
+        T_CHECK(fusedBanded == fusedSeq);
+
+        // GEMMs issued from inside a pool task must not fan out again
+        // (the runner reports width 1 there): this completing at all
+        // proves no nested-parallelFor deadlock, and results match.
+        pool.parallelFor(0, 8, [&](size_t, size_t) {
+            Matrix c;
+            Gemm::multiply(c, a, b);
+            T_CHECK(c == sequential);
+        });
+
+        // The test-hook cap clamps the advertised width.
+        Gemm::setMaxThreads(1);
+        T_CHECK(Gemm::parallelWidth() == 1);
+        Gemm::setMaxThreads(prevCap);
+    }
+    // Destruction un-installs the runner; multiplies fall back to
+    // sequential execution instead of fanning into a dead pool.
+    T_CHECK(Gemm::parallelRunner() == nullptr);
+    T_CHECK(Gemm::parallelWidth() == 1);
+
+    // With several pools alive, the newest serves; destroying it hands
+    // the role back to the survivor rather than dropping parallelism
+    // for the rest of the process.
+    {
+        ThreadPool outer(2);
+        const auto outerRunner = Gemm::parallelRunner();
+        T_CHECK(outerRunner != nullptr);
+        {
+            ThreadPool inner(3);
+            T_CHECK(Gemm::parallelRunner() != outerRunner);
+        }
+        T_CHECK(Gemm::parallelRunner() == outerRunner);
+    }
+    T_CHECK(Gemm::parallelRunner() == nullptr);
 }
 
 void
@@ -311,6 +402,8 @@ main()
 {
     testThreadPoolRunsEverything();
     testThreadPoolPropagatesExceptions();
+    testWorkerThreadFlag();
+    testIntraGemmRowBands();
     testMultiHeadMatchesSequentialAndLegacy();
     testMultiHeadDeterministicAcrossPoolSizes();
     testMultiHeadShapeValidation();
