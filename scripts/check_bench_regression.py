@@ -47,8 +47,12 @@ def load_trajectory(path):
 
 # The execution-configuration fields an entry is keyed by: wall-clock
 # is only a code signal between runs whose configuration matches.
+# sparse_mode (VITALITY_SPARSE, "csr" or "dense") joined in PR 5: a
+# dense-masked run is expected to be slower than a compressed one at
+# the same (model, kernel, batch) shape, so the two only compare
+# against themselves.
 CONFIG_FIELDS = ("gemm_backend", "pool_threads", "gemm_threads",
-                 "epilogue")
+                 "epilogue", "sparse_mode")
 
 
 def comparable(old, new):

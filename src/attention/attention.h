@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "sparse/csr.h"
 #include "sparse/mask.h"
 #include "tensor/matrix.h"
 #include "tensor/workspace.h"
@@ -87,10 +88,12 @@ std::string attentionTypeName(AttentionType type);
  * Per-thread execution state for allocation-free attention.
  *
  * Holds the scratch Workspace every forwardInto() draws intermediates
- * from, plus a recycled SparseMask for the kernels with a sparse branch
- * (SangerSparse, Unified). The runtime layer owns one context per worker
- * thread; contexts are not thread-safe and must never be shared between
- * concurrent forwards.
+ * from, plus recycled sparse structures for the kernels with a sparse
+ * branch (SangerSparse, Unified): a dense SparseMask for the
+ * dense-masked reference path and a CsrMask for the compressed path
+ * (VITALITY_SPARSE selects which one a forward populates). The runtime
+ * layer owns one context per worker thread; contexts are not
+ * thread-safe and must never be shared between concurrent forwards.
  */
 class AttentionContext
 {
@@ -109,9 +112,18 @@ class AttentionContext
      */
     SparseMask &mask() { return mask_; }
 
+    /**
+     * The cached CSR structure, recycled the same way (reassigned
+     * wholesale via CsrMask::assignFromThreshold / assignFromMask
+     * before reading). The nnz-sized value buffers that go with it are
+     * drawn from workspace() per forward.
+     */
+    CsrMask &csr() { return csr_; }
+
   private:
     Workspace ws_;
     SparseMask mask_;
+    CsrMask csr_;
 };
 
 /** Abstract attention kernel: per-head (Q, K, V) -> Z. */
@@ -143,8 +155,13 @@ class AttentionKernel
      * with a given shape the steady state performs no heap allocations.
      * out must not be a matrix checked out of ctx's workspace after the
      * kernel's own frame opens — a caller-held slot or plain Matrix is
-     * fine. Matches forward() to float round-off (<= 1e-5 max-abs-diff;
-     * the built-in kernels are bitwise identical).
+     * fine. Matches forward() to float round-off: <= 1e-5 max-abs-diff
+     * for the dense execution paths (most built-in kernels are bitwise
+     * identical there), and <= 1e-4 for the sparse kernels under the
+     * default VITALITY_SPARSE=csr, which regroup the same math over
+     * the kept coordinates (and run the Unified weak branch in its
+     * associative linear form) so they differ from the dense reference
+     * by accumulated rounding. Both bounds are asserted in ctest.
      *
      * The default implementation falls back to forward() so external
      * kernels keep working; every built-in kernel overrides it.

@@ -1,10 +1,12 @@
 #include "attention/unified_attention.h"
 
+#include <cmath>
 #include <stdexcept>
 
 #include "attention/softmax_attention.h"
 #include "base/logging.h"
 #include "attention/taylor_attention.h"
+#include "sparse/csr.h"
 #include "tensor/ops.h"
 
 namespace vitality {
@@ -15,6 +17,12 @@ SangerSparseAttention::SangerSparseAttention(float threshold, int bits,
                                              double nominal_density)
     : predictor_(threshold, bits), nominalDensity_(nominal_density)
 {
+}
+
+std::string
+SangerSparseAttention::name() const
+{
+    return strfmt("Sanger(T=%.3g)", predictor_.threshold());
 }
 
 Matrix
@@ -33,14 +41,7 @@ SangerSparseAttention::forwardWithMask(const Matrix &q, const Matrix &k,
         throw std::invalid_argument("sanger sparse: shape mismatch");
 
     SparseMask mask = predictor_.predict(q, k);
-    // Keep every row alive: Sanger guarantees at least the top predicted
-    // connection per query survives, otherwise a query would attend to
-    // nothing and its output would be zero.
-    const Matrix predicted = predictor_.predictedMap(q, k);
-    for (size_t r = 0; r < mask.rows(); ++r) {
-        if (mask.rowNnz(r) == 0)
-            mask.set(r, argmaxRow(predicted, r), true);
-    }
+    mask.rescueEmptyRows(predictor_.predictedMap(q, k));
     if (mask_out)
         *mask_out = mask;
 
@@ -63,12 +64,27 @@ SangerSparseAttention::forwardInto(AttentionContext &ctx, const Matrix &q,
     // (the legacy path computes it twice).
     Matrix &predicted = ws.acquire(q.rows(), k.rows());
     predictor_.predictedMapInto(predicted, q, k, ws);
+
+    if (sparseExecMode() == SparseExec::Csr) {
+        // Compressed execution: full-precision work happens only at the
+        // kept coordinates. The quantized prediction pass above stays
+        // dense — it is the part Sanger's hardware runs in low
+        // precision — but scores, softmax, and score x V are O(nnz d).
+        CsrMask &csr = ctx.csr();
+        csr.assignFromThreshold(predicted, predictor_.threshold(),
+                                /*rescue_empty_rows=*/true);
+        const float inv_sqrt_d =
+            1.0f / std::sqrt(static_cast<float>(q.cols()));
+        Matrix &vals = ws.acquire(1, csr.nnz());
+        sparseScoresInto(vals, csr, q, k, inv_sqrt_d);
+        maskedSoftmaxCsrInto(vals, csr);
+        spmmInto(out, csr, vals, v);
+        return;
+    }
+
     SparseMask &mask = ctx.mask();
     mask.assignFromThreshold(predicted, predictor_.threshold());
-    for (size_t r = 0; r < mask.rows(); ++r) {
-        if (mask.rowNnz(r) == 0)
-            mask.set(r, argmaxRow(predicted, r), true);
-    }
+    mask.rescueEmptyRows(predicted);
 
     Matrix &scores = ws.acquire(q.rows(), k.rows());
     SoftmaxAttention::similarityInto(scores, q, k);
@@ -145,13 +161,16 @@ UnifiedAttention::forwardDetailed(const Matrix &q, const Matrix &k,
     // inference uses the linear form without ever materializing this).
     out.weakMap = TaylorAttention::weakAttentionMap(q, khat);
 
-    // Full softmax map; mean-centering leaves it unchanged (Property 1)
-    // but we compute it from khat to share intermediates with hardware.
-    const Matrix full_map = SoftmaxAttention::attentionMap(q, khat);
-
-    // Sparse branch: residual on predicted strong connections only.
+    // Sparse branch: Sanger-style masked softmax over the predicted
+    // strong connections (mean-centering leaves the softmax unchanged,
+    // Property 1, so the scores come from khat to share intermediates
+    // with hardware), residual against the weak map at those
+    // coordinates only. With an all-ones mask the masked softmax is the
+    // full softmax and S_train collapses to it exactly.
     out.mask = predictor_.predict(q, khat);
-    out.strongPart = applyMask(sub(full_map, out.weakMap), out.mask);
+    const Matrix strong_map =
+        maskedSoftmaxRows(SoftmaxAttention::similarity(q, khat), out.mask);
+    out.strongPart = applyMask(sub(strong_map, out.weakMap), out.mask);
     out.sparseBranchDensity = out.mask.density();
 
     out.z = matmul(add(out.weakMap, out.strongPart), v);
@@ -178,23 +197,88 @@ UnifiedAttention::forwardInto(AttentionContext &ctx, const Matrix &q,
         khat = &centered;
     }
 
-    // Low-rank branch: the explicit weak Taylor map.
+    if (sparseExecMode() == SparseExec::Csr) {
+        forwardCsrInto(ctx, q, *khat, v, out);
+        return;
+    }
+
+    // Dense-masked reference: the explicit weak Taylor map plus the
+    // masked softmax of the similarity scores, with the residual
+    // S_train = T_weak + M .* (SM(S, M) - T_weak) folded in place.
     Matrix &weak = ws.acquire(q.rows(), k.rows());
     TaylorAttention::weakAttentionMapInto(weak, q, *khat, ws);
 
-    // Full softmax map from the centered keys (Property 1).
-    Matrix &full = ws.acquire(q.rows(), k.rows());
-    SoftmaxAttention::attentionMapInto(full, q, *khat);
+    Matrix &strong = ws.acquire(q.rows(), k.rows());
+    SoftmaxAttention::similarityInto(strong, q, *khat);
 
-    // Sparse branch: residual on predicted strong connections only, then
-    // S_train = T_weak + M .* (S_full - T_weak) folded in place.
     SparseMask &mask = ctx.mask();
     predictor_.predictInto(mask, q, *khat, ws);
-    subInto(full, full, weak);
-    applyMaskInto(full, full, mask);
-    addInto(full, weak, full);
+    maskedSoftmaxRowsInto(strong, strong, mask);
+    subInto(strong, strong, weak);
+    applyMaskInto(strong, strong, mask);
+    addInto(strong, weak, strong);
 
-    matmulInto(out, full, v);
+    matmulInto(out, strong, v);
+}
+
+void
+UnifiedAttention::forwardCsrInto(AttentionContext &ctx, const Matrix &q,
+                                 const Matrix &khat, const Matrix &v,
+                                 Matrix &out) const
+{
+    const size_t n = q.rows();
+    const size_t d = q.cols();
+    const float sqrt_d = std::sqrt(static_cast<float>(d));
+
+    Workspace &ws = ctx.workspace();
+    Workspace::Frame frame(ws);
+
+    // Weak branch in its associative linear form (Algorithm 1 over the
+    // already-centered keys): O(n d^2), never materializes the n x n
+    // map. Mathematically identical to weakAttentionMap(q, khat) * V —
+    // the associativity regrouping is the whole point of the Taylor
+    // linearization — and within float round-off of the dense path.
+    Matrix &g = ws.acquire(d, v.cols());
+    matmulATInto(g, khat, v);
+    Matrix &ksum = ws.acquire(1, d);
+    colSumInto(ksum, khat);
+    Matrix &vsum = ws.acquire(1, v.cols());
+    colSumInto(vsum, v);
+    Matrix &td = ws.acquire(n, 1);
+    matmulBTInto(td, q, ksum);
+    addScalarInto(td, td, static_cast<float>(n) * sqrt_d);
+    TaylorAttention::clampDenominator(td);
+    matmulInto(out, q, g);
+    scaleInto(vsum, vsum, sqrt_d);
+    broadcastAddRowInto(out, out, vsum);
+    divRowsInto(out, out, td);
+
+    // Strong branch at the kept coordinates only: masked softmax of
+    // the similarity scores minus the weak map, both evaluated per
+    // kept (r, c) — O(nnz d) total. The weak entry reuses the sparse
+    // similarity value: weak(r, c) = (q_r . khat_c + sqrt(d)) / t_D(r).
+    Matrix &predicted = ws.acquire(n, khat.rows());
+    predictor_.predictedMapInto(predicted, q, khat, ws);
+    CsrMask &csr = ctx.csr();
+    csr.assignFromThreshold(predicted, predictor_.threshold());
+    if (csr.nnz() == 0)
+        return; // Fully pruned: the unified output IS the Taylor output.
+
+    Matrix &sim = ws.acquire(1, csr.nnz());
+    sparseScoresInto(sim, csr, q, khat, 1.0f / sqrt_d);
+    Matrix &resid = ws.acquire(1, csr.nnz());
+    resid.copyFrom(sim);
+    maskedSoftmaxCsrInto(resid, csr);
+
+    const uint32_t *rp = csr.rowPtr();
+    const float *simv = sim.data();
+    float *res = resid.data();
+    for (size_t r = 0; r < n; ++r) {
+        const float tdr = td(r, 0);
+        for (uint32_t idx = rp[r]; idx < rp[r + 1]; ++idx)
+            res[idx] -= (simv[idx] * sqrt_d + sqrt_d) / tdr;
+    }
+    spmmInto(out, csr, resid, v, /*accumulate=*/true);
 }
 
 OpCounts

@@ -7,16 +7,30 @@
  *   softmax(Q Khat^T / sqrt(d)) = weak Taylor map (m = 1, low-rank)
  *                                + strong residual (m > 1).
  * During training the strong residual is approximated sparsely: a Sanger
- * predictor selects the strong (query, key) connections, and only those
- * entries of the residual are kept:
+ * predictor selects the strong (query, key) connections, and the
+ * residual is built from the Sanger-style masked softmax over exactly
+ * those entries (pruned coordinates never enter the denominator — the
+ * same renormalization the SPARSE baseline applies, which is what lets
+ * the strong branch run in compressed form without ever materializing
+ * a pruned coordinate):
  *
- *   S_train = T_weak + M .* (S_full - T_weak),      Z = S_train V
+ *   S_train = T_weak + M .* (SM(S, M) - T_weak),    Z = S_train V
  *
- * where M is the predicted mask. With an all-ones M this is exactly the
- * softmax attention; with an all-zero M it is exactly the linear Taylor
- * attention — the two ends of the paper's Fig. 15 threshold sweep. At
- * inference ViTALiTy drops the sparse branch entirely and runs only
- * TaylorAttention.
+ * where M is the predicted mask and SM(S, M) the masked softmax of the
+ * similarity scores over M's kept entries. With an all-ones M the
+ * masked softmax IS the full softmax, so S_train is exactly the softmax
+ * attention; with an all-zero M the strong branch vanishes and S_train
+ * is exactly the linear Taylor attention — the two ends of the paper's
+ * Fig. 15 threshold sweep. At inference ViTALiTy drops the sparse
+ * branch entirely and runs only TaylorAttention.
+ *
+ * Execution: forwardInto() honors VITALITY_SPARSE (sparse/csr.h). The
+ * csr mode (default) computes the weak branch in its associative
+ * linear O(n d^2) form and the strong branch over the kept coordinates
+ * only (O(nnz d)); the dense mode keeps the full n x n reference
+ * pipeline. The two agree to float round-off at every density
+ * (asserted in ctest), and forward()/forwardDetailed() always run the
+ * dense reference.
  */
 
 #ifndef VITALITY_ATTENTION_UNIFIED_ATTENTION_H
@@ -31,7 +45,10 @@ namespace vitality {
 /**
  * Sanger-style dynamic sparse attention (the paper's SPARSE method):
  * full-precision scores are computed only for connections the quantized
- * predictor kept, then renormalized by a masked softmax.
+ * predictor kept, then renormalized by a masked softmax. forwardInto()
+ * honors VITALITY_SPARSE: csr mode (the default) touches only the kept
+ * coordinates (scores, softmax, and score x V all O(nnz d)); dense mode
+ * is the full n x n masked reference.
  */
 class SangerSparseAttention : public AttentionKernel
 {
@@ -49,6 +66,8 @@ class SangerSparseAttention : public AttentionKernel
     {
         return AttentionType::SangerSparse;
     }
+
+    std::string name() const override;
 
     Matrix forward(const Matrix &q, const Matrix &k,
                    const Matrix &v) const override;
@@ -103,7 +122,8 @@ class UnifiedAttention : public AttentionKernel
     {
         Matrix z;          ///< Unified attention score, n x d.
         Matrix weakMap;    ///< First-order Taylor map, n x n.
-        Matrix strongPart; ///< Masked residual M .* (S - T_weak), n x n.
+        /** Masked residual M .* (SM(S, M) - T_weak), n x n. */
+        Matrix strongPart;
         SparseMask mask;   ///< Predicted strong-connection mask.
         /** Fraction of nonzero entries in the sparse branch (Fig. 14). */
         double sparseBranchDensity = 0.0;
@@ -122,6 +142,15 @@ class UnifiedAttention : public AttentionKernel
     float threshold() const { return predictor_.threshold(); }
 
   private:
+    /**
+     * The compressed execution path: linear weak branch + CSR strong
+     * branch over already-centered keys. khat must be the centered (or,
+     * with mean_center off, raw) key matrix.
+     */
+    void forwardCsrInto(AttentionContext &ctx, const Matrix &q,
+                        const Matrix &khat, const Matrix &v,
+                        Matrix &out) const;
+
     SangerPredictor predictor_;
     bool meanCenter_;
 };

@@ -1,0 +1,259 @@
+#include "sparse/csr.h"
+
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
+
+#include "base/logging.h"
+#include "tensor/ops.h"
+
+namespace vitality {
+
+namespace {
+
+// -1 = unresolved; otherwise a SparseExec value (VITALITY_SPARSE,
+// default csr). Lazy like Gemm's mode knobs so the env override applies
+// no matter when the first sparse forward happens.
+std::atomic<int> g_sparseExec{-1};
+
+} // namespace
+
+SparseExec
+sparseExecMode()
+{
+    int cur = g_sparseExec.load(std::memory_order_acquire);
+    if (cur < 0) {
+        int resolved = static_cast<int>(SparseExec::Csr);
+        const char *env = std::getenv("VITALITY_SPARSE");
+        if (env && *env) {
+            if (std::string(env) == "dense") {
+                resolved = static_cast<int>(SparseExec::Dense);
+            } else if (std::string(env) != "csr") {
+                warn("VITALITY_SPARSE=%s not recognized (want "
+                     "dense|csr); using csr",
+                     env);
+            }
+        }
+        int expected = -1;
+        g_sparseExec.compare_exchange_strong(expected, resolved,
+                                             std::memory_order_acq_rel);
+        cur = g_sparseExec.load(std::memory_order_acquire);
+    }
+    return static_cast<SparseExec>(cur);
+}
+
+void
+setSparseExecMode(SparseExec mode)
+{
+    g_sparseExec.store(static_cast<int>(mode), std::memory_order_release);
+}
+
+const char *
+sparseExecName(SparseExec mode)
+{
+    return mode == SparseExec::Dense ? "dense" : "csr";
+}
+
+void
+CsrMask::assignFromMask(const SparseMask &mask)
+{
+    rows_ = mask.rows();
+    cols_ = mask.cols();
+    rowPtr_.clear();
+    rowPtr_.reserve(rows_ + 1);
+    colIdx_.clear();
+    rowPtr_.push_back(0);
+    for (size_t r = 0; r < rows_; ++r) {
+        for (size_t c = 0; c < cols_; ++c) {
+            if (mask.at(r, c))
+                colIdx_.push_back(static_cast<uint32_t>(c));
+        }
+        rowPtr_.push_back(static_cast<uint32_t>(colIdx_.size()));
+    }
+}
+
+void
+CsrMask::assignFromThreshold(const Matrix &scores, float threshold,
+                             bool rescue_empty_rows)
+{
+    rows_ = scores.rows();
+    cols_ = scores.cols();
+    rowPtr_.clear();
+    rowPtr_.reserve(rows_ + 1);
+    colIdx_.clear();
+    rowPtr_.push_back(0);
+    for (size_t r = 0; r < rows_; ++r) {
+        const float *row = scores.rowPtr(r);
+        const size_t row_begin = colIdx_.size();
+        size_t c = 0;
+#if defined(__SSE2__)
+        // Four-wide compare + movemask: at the thresholds that matter
+        // (T = 0.5 keeps well under 1% of entries) almost every group
+        // is empty and the scan reduces to one compare and one branch
+        // per four entries. cmpge is an exact predicate, so the kept
+        // set is identical to the scalar tail's.
+        const __m128 vt = _mm_set1_ps(threshold);
+        for (; c + 4 <= cols_; c += 4) {
+            const int hits = _mm_movemask_ps(
+                _mm_cmpge_ps(_mm_loadu_ps(row + c), vt));
+            if (!hits)
+                continue;
+            for (int lane = 0; lane < 4; ++lane) {
+                if (hits & (1 << lane))
+                    colIdx_.push_back(static_cast<uint32_t>(c + lane));
+            }
+        }
+#endif
+        for (; c < cols_; ++c) {
+            if (row[c] >= threshold)
+                colIdx_.push_back(static_cast<uint32_t>(c));
+        }
+        if (rescue_empty_rows && colIdx_.size() == row_begin && cols_ > 0)
+            colIdx_.push_back(
+                static_cast<uint32_t>(argmaxRow(scores, r)));
+        rowPtr_.push_back(static_cast<uint32_t>(colIdx_.size()));
+    }
+}
+
+size_t
+CsrMask::rowNnz(size_t r) const
+{
+    VITALITY_ASSERT(r < rows_, "csr row out of range");
+    return rowPtr_[r + 1] - rowPtr_[r];
+}
+
+double
+CsrMask::density() const
+{
+    if (rows_ == 0 || cols_ == 0)
+        return 0.0;
+    return static_cast<double>(nnz()) /
+           (static_cast<double>(rows_) * static_cast<double>(cols_));
+}
+
+SparseMask
+CsrMask::toMask() const
+{
+    SparseMask mask(rows_, cols_);
+    for (size_t r = 0; r < rows_; ++r) {
+        for (uint32_t idx = rowPtr_[r]; idx < rowPtr_[r + 1]; ++idx)
+            mask.set(r, colIdx_[idx], true);
+    }
+    return mask;
+}
+
+bool
+CsrMask::operator==(const CsrMask &other) const
+{
+    return rows_ == other.rows_ && cols_ == other.cols_ &&
+           rowPtr_ == other.rowPtr_ && colIdx_ == other.colIdx_;
+}
+
+void
+sparseScoresInto(Matrix &vals, const CsrMask &csr, const Matrix &q,
+                 const Matrix &k, float scale)
+{
+    if (q.rows() != csr.rows() || k.rows() != csr.cols())
+        throw std::invalid_argument("sparseScores: Q/K vs csr mismatch");
+    if (q.cols() != k.cols())
+        throw std::invalid_argument("sparseScores: Q/K dim mismatch");
+
+    vals.resize(1, csr.nnz());
+    const size_t d = q.cols();
+    const uint32_t *rp = csr.rowPtr();
+    const uint32_t *ci = csr.colIdx();
+    float *out = vals.data();
+    for (size_t r = 0; r < csr.rows(); ++r) {
+        const float *qrow = q.rowPtr(r);
+        for (uint32_t idx = rp[r]; idx < rp[r + 1]; ++idx) {
+            const float *krow = k.rowPtr(ci[idx]);
+            float acc = 0.0f;
+            for (size_t kk = 0; kk < d; ++kk)
+                acc += qrow[kk] * krow[kk];
+            out[idx] = acc * scale;
+        }
+    }
+}
+
+void
+maskedSoftmaxCsrInto(Matrix &vals, const CsrMask &csr)
+{
+    if (vals.size() != csr.nnz())
+        throw std::invalid_argument("maskedSoftmaxCsr: vals/nnz mismatch");
+
+    const uint32_t *rp = csr.rowPtr();
+    float *v = vals.data();
+    for (size_t r = 0; r < csr.rows(); ++r) {
+        const uint32_t begin = rp[r];
+        const uint32_t end = rp[r + 1];
+        if (begin == end)
+            continue;
+        // Same max / exp / accumulate / normalize order as the
+        // dense-masked helper, over the kept entries only.
+        float maxv = v[begin];
+        for (uint32_t idx = begin + 1; idx < end; ++idx)
+            maxv = std::max(maxv, v[idx]);
+        if (maxv == -INFINITY) {
+            // Every kept entry is -inf: treat the row as fully pruned
+            // (all-zero) rather than emitting exp(-inf + inf) = NaN.
+            for (uint32_t idx = begin; idx < end; ++idx)
+                v[idx] = 0.0f;
+            continue;
+        }
+        float denom = 0.0f;
+        for (uint32_t idx = begin; idx < end; ++idx) {
+            v[idx] = std::exp(v[idx] - maxv);
+            denom += v[idx];
+        }
+        const float inv = 1.0f / denom;
+        for (uint32_t idx = begin; idx < end; ++idx)
+            v[idx] *= inv;
+    }
+}
+
+void
+spmmInto(Matrix &dst, const CsrMask &csr, const Matrix &vals,
+         const Matrix &v, bool accumulate)
+{
+    if (vals.size() != csr.nnz())
+        throw std::invalid_argument("spmm: vals/nnz mismatch");
+    if (v.rows() != csr.cols())
+        throw std::invalid_argument("spmm: csr cols vs V rows mismatch");
+    if (&dst == &vals || &dst == &v)
+        throw std::invalid_argument("spmm: dst must not alias an input");
+    if (accumulate) {
+        if (dst.rows() != csr.rows() || dst.cols() != v.cols()) {
+            throw std::invalid_argument(
+                strfmt("spmm: accumulate needs dst preshaped to "
+                       "[%zu x %zu], got %s",
+                       csr.rows(), v.cols(), dst.shapeStr().c_str()));
+        }
+    } else {
+        dst.resize(csr.rows(), v.cols());
+    }
+
+    const size_t n = v.cols();
+    const uint32_t *rp = csr.rowPtr();
+    const uint32_t *ci = csr.colIdx();
+    const float *val = vals.data();
+    for (size_t r = 0; r < csr.rows(); ++r) {
+        float *out = dst.rowPtr(r);
+        if (!accumulate)
+            for (size_t j = 0; j < n; ++j)
+                out[j] = 0.0f;
+        for (uint32_t idx = rp[r]; idx < rp[r + 1]; ++idx) {
+            const float s = val[idx];
+            const float *vrow = v.rowPtr(ci[idx]);
+            for (size_t j = 0; j < n; ++j)
+                out[j] += s * vrow[j];
+        }
+    }
+}
+
+} // namespace vitality

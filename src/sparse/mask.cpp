@@ -4,6 +4,8 @@
 #include <stdexcept>
 
 #include "base/logging.h"
+#include "sparse/csr.h"
+#include "tensor/ops.h"
 
 namespace vitality {
 
@@ -68,6 +70,21 @@ SparseMask::nnz() const
 }
 
 size_t
+SparseMask::rescueEmptyRows(const Matrix &scores)
+{
+    if (scores.rows() != rows_ || scores.cols() != cols_)
+        throw std::invalid_argument("rescueEmptyRows: shape mismatch");
+    size_t rescued = 0;
+    for (size_t r = 0; r < rows_; ++r) {
+        if (cols_ > 0 && rowNnz(r) == 0) {
+            set(r, argmaxRow(scores, r), true);
+            ++rescued;
+        }
+    }
+    return rescued;
+}
+
+size_t
 SparseMask::rowNnz(size_t r) const
 {
     VITALITY_ASSERT(r < rows_, "mask row out of range");
@@ -120,34 +137,36 @@ maskedSoftmaxRowsInto(Matrix &dst, const Matrix &scores,
     if (scores.rows() != mask.rows() || scores.cols() != mask.cols())
         throw std::invalid_argument("maskedSoftmax: shape mismatch");
 
-    dst.resize(scores.rows(), scores.cols());
+    // One softmax-over-kept-entries implementation for the whole
+    // library: gather the kept coordinates into CSR form, run the CSR
+    // row softmax, scatter back over a zeroed dense output. The gather
+    // walks each row's kept columns in ascending order — the same
+    // max / exp / accumulate / normalize sequence the old dense loop
+    // applied — so the dense result is unchanged bitwise. The scratch
+    // is thread-local and recycled, keeping the hot paths
+    // allocation-free in steady state (and callers may alias dst onto
+    // scores: the gather completes before dst is written).
+    static thread_local CsrMask t_csr;
+    static thread_local Matrix t_vals;
+    t_csr.assignFromMask(mask);
+    const uint32_t *rp = t_csr.rowPtr();
+    const uint32_t *ci = t_csr.colIdx();
+    t_vals.resize(1, t_csr.nnz());
+    float *vals = t_vals.data();
     for (size_t r = 0; r < scores.rows(); ++r) {
         const float *in = scores.rowPtr(r);
+        for (uint32_t idx = rp[r]; idx < rp[r + 1]; ++idx)
+            vals[idx] = in[ci[idx]];
+    }
+    maskedSoftmaxCsrInto(t_vals, t_csr);
+
+    dst.resize(scores.rows(), scores.cols());
+    for (size_t r = 0; r < scores.rows(); ++r) {
         float *out = dst.rowPtr(r);
-        // Max over kept entries for numerical stability.
-        float maxv = -INFINITY;
-        for (size_t c = 0; c < scores.cols(); ++c) {
-            if (mask.at(r, c))
-                maxv = std::max(maxv, in[c]);
-        }
-        if (maxv == -INFINITY) {
-            // Fully pruned row is all-zero.
-            for (size_t c = 0; c < scores.cols(); ++c)
-                out[c] = 0.0f;
-            continue;
-        }
-        float denom = 0.0f;
-        for (size_t c = 0; c < scores.cols(); ++c) {
-            if (mask.at(r, c)) {
-                out[c] = std::exp(in[c] - maxv);
-                denom += out[c];
-            } else {
-                out[c] = 0.0f;
-            }
-        }
-        const float inv = 1.0f / denom;
         for (size_t c = 0; c < scores.cols(); ++c)
-            out[c] *= inv;
+            out[c] = 0.0f;
+        for (uint32_t idx = rp[r]; idx < rp[r + 1]; ++idx)
+            out[ci[idx]] = vals[idx];
     }
 }
 

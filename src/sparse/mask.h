@@ -50,6 +50,17 @@ class SparseMask
     /** Kept connections in row r. */
     size_t rowNnz(size_t r) const;
 
+    /**
+     * Keep every query alive: a row with no kept entry gets its argmax
+     * column of scores set instead (Sanger's guarantee that at least
+     * the top predicted connection per query survives, otherwise that
+     * query would attend to nothing and output zero). Returns the
+     * number of rows rescued. Shared by every Sanger-style path —
+     * forward(), forwardInto(), and the CSR builder's rescue flag all
+     * produce the same mask by construction.
+     */
+    size_t rescueEmptyRows(const Matrix &scores);
+
     /** nnz / (rows * cols). */
     double density() const;
 

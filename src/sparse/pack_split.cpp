@@ -15,8 +15,16 @@ PackSplitResult::utilization() const
             static_cast<double>(peWidth));
 }
 
+namespace {
+
+/**
+ * The shared split + pack core: rowNnz[r] kept entries per source row,
+ * scheduled onto a PE array of the given width. Both mask
+ * representations reduce to this row-occupancy vector, so the dense and
+ * CSR entry points produce identical schedules by construction.
+ */
 PackSplitResult
-packAndSplit(const SparseMask &mask, size_t pe_width)
+scheduleRows(const std::vector<size_t> &rowNnz, size_t pe_width)
 {
     if (pe_width == 0)
         throw std::invalid_argument("packAndSplit: pe_width must be > 0");
@@ -32,8 +40,8 @@ packAndSplit(const SparseMask &mask, size_t pe_width)
         size_t entries;
     };
     std::vector<SubRow> subRows;
-    for (size_t r = 0; r < mask.rows(); ++r) {
-        size_t remaining = mask.rowNnz(r);
+    for (size_t r = 0; r < rowNnz.size(); ++r) {
+        size_t remaining = rowNnz[r];
         result.nnz += remaining;
         while (remaining > 0) {
             const size_t take = std::min(remaining, pe_width);
@@ -70,6 +78,26 @@ packAndSplit(const SparseMask &mask, size_t pe_width)
     }
 
     return result;
+}
+
+} // namespace
+
+PackSplitResult
+packAndSplit(const SparseMask &mask, size_t pe_width)
+{
+    std::vector<size_t> rowNnz(mask.rows());
+    for (size_t r = 0; r < mask.rows(); ++r)
+        rowNnz[r] = mask.rowNnz(r);
+    return scheduleRows(rowNnz, pe_width);
+}
+
+PackSplitResult
+packAndSplit(const CsrMask &csr, size_t pe_width)
+{
+    std::vector<size_t> rowNnz(csr.rows());
+    for (size_t r = 0; r < csr.rows(); ++r)
+        rowNnz[r] = csr.rowNnz(r);
+    return scheduleRows(rowNnz, pe_width);
 }
 
 } // namespace vitality

@@ -19,6 +19,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "sparse/csr.h"
 #include "sparse/mask.h"
 
 namespace vitality {
@@ -61,6 +62,14 @@ struct PackSplitResult
  * @param pe_width Number of PE columns available (64 for Sanger's config).
  */
 PackSplitResult packAndSplit(const SparseMask &mask, size_t pe_width);
+
+/**
+ * Same schedule from a compressed mask, so the accelerator model and
+ * the CSR runtime share one representation: a CsrMask built from a
+ * SparseMask produces an identical PackSplitResult (asserted in ctest)
+ * in O(rows + nnz) instead of scanning the dense bitmap.
+ */
+PackSplitResult packAndSplit(const CsrMask &csr, size_t pe_width);
 
 } // namespace vitality
 

@@ -4,9 +4,25 @@
 #include <stdexcept>
 
 #include "attention/softmax_attention.h"
+#include "tensor/gemm.h"
 #include "tensor/ops.h"
+#include "tensor/transcendental.h"
 
 namespace vitality {
+
+namespace detail {
+
+#if VITALITY_HAVE_AVX2
+// Defined in gemm_avx2.cpp; only called when the Gemm dispatcher's
+// CPUID-checked AVX2 backend is active. Runs the identical per-element
+// program 8 lanes at a time (bitwise-equal to the scalar loop below,
+// so the quantized prediction — and therefore the mask — cannot
+// depend on the backend).
+void quantizeRowAvx2(float *dst, const float *src, size_t count,
+                     float inv_step, float step);
+#endif
+
+} // namespace detail
 
 void
 quantizeSymmetricInto(Matrix &dst, const Matrix &m, int bits)
@@ -21,9 +37,30 @@ quantizeSymmetricInto(Matrix &dst, const Matrix &m, int bits)
     }
     const float levels = static_cast<float>((1 << (bits - 1)) - 1);
     const float step = max_mag / levels;
-    mapElemInto(dst, m, [step](float x) {
-        return std::round(x / step) * step;
-    });
+    // Branch-free direct loop (this runs over every Q/K element of
+    // every sparse-branch forward; the old per-element std::function
+    // callback was the single most expensive part of the prediction
+    // pass). The level index is x * (1 / step) — a multiply, where a
+    // per-element divide kept the loop division-bound — rounded with
+    // the 1.5 * 2^23 magic-number trick: nearest-even at exact
+    // half-steps, where std::round went away from zero;
+    // |x / step| <= levels < 2^15 keeps the trick exact.
+    dst.resize(m.rows(), m.cols());
+    const float inv_step = 1.0f / step;
+    const float *src = m.data();
+    float *out = dst.data();
+    const size_t count = m.size();
+#if VITALITY_HAVE_AVX2
+    if (Gemm::active() == Gemm::Backend::Avx2) {
+        detail::quantizeRowAvx2(out, src, count, inv_step, step);
+        return;
+    }
+#endif
+    for (size_t i = 0; i < count; ++i) {
+        const float q = (src[i] * inv_step + detail::kRoundMagic) -
+                        detail::kRoundMagic;
+        out[i] = q * step;
+    }
 }
 
 Matrix
@@ -46,7 +83,15 @@ SangerPredictor::predictedMap(const Matrix &q, const Matrix &k) const
 {
     const Matrix qq = quantizeSymmetric(q, bits_);
     const Matrix qk = quantizeSymmetric(k, bits_);
-    return SoftmaxAttention::attentionMap(qq, qk);
+    // The low-precision softmax (expApprox): the prediction estimate
+    // only feeds a threshold compare and an argmax, Sanger hardware
+    // runs this whole pass in 4 bits, and the exact n^2 exp was the
+    // single largest cost left in the sparse kernels. Every predictor
+    // entry point uses the same function, so the mask is identical
+    // across forward(), forwardInto(), and both execution modes.
+    Matrix s = SoftmaxAttention::similarity(qq, qk);
+    softmaxRowsApproxInto(s, s);
+    return s;
 }
 
 SparseMask
@@ -65,7 +110,7 @@ SangerPredictor::predictedMapInto(Matrix &dst, const Matrix &q,
     Matrix &qk = ws.acquire(k.rows(), k.cols());
     quantizeSymmetricInto(qk, k, bits_);
     SoftmaxAttention::similarityInto(dst, qq, qk);
-    softmaxRowsInto(dst, dst);
+    softmaxRowsApproxInto(dst, dst);
 }
 
 void

@@ -21,8 +21,9 @@ namespace vitality {
 /**
  * Symmetric linear quantization of a matrix to the given bit width.
  * Values are mapped onto 2^(bits-1) - 1 signed levels scaled by the
- * matrix's max magnitude, then dequantized back to float, mimicking the
- * low-precision prediction path of the Sanger front-end.
+ * matrix's max magnitude (rounding to the nearest level, ties to
+ * even), then dequantized back to float, mimicking the low-precision
+ * prediction path of the Sanger front-end.
  */
 Matrix quantizeSymmetric(const Matrix &m, int bits);
 
@@ -43,7 +44,12 @@ class SangerPredictor
     /**
      * Predict the keep-mask for one head.
      * Computes softmax(quant(Q) quant(K)^T / sqrt(d)) and keeps entries
-     * >= threshold.
+     * >= threshold. The softmax is the low-precision
+     * softmaxRowsApproxInto (tensor/ops.h) — the estimate feeds only a
+     * threshold compare / argmax and Sanger hardware runs the whole
+     * prediction in 4 bits, so the ~4e-6-relative exp approximation is
+     * far inside the quantization noise; every predictor entry point
+     * shares it, so all execution paths derive the identical mask.
      */
     SparseMask predict(const Matrix &q, const Matrix &k) const;
 

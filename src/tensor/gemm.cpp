@@ -369,7 +369,7 @@ Gemm::multiply(Matrix &dst, const Matrix &a, const Matrix &b, Trans trans,
 
 void
 Gemm::multiply(Matrix &dst, const Matrix &a, const Matrix &b, Trans trans,
-               const Epilogue &ep, Backend backend)
+               const Epilogue &epilogue, Backend backend)
 {
     // Guard the explicit-backend path too: without this, requesting
     // Avx2 on a host without the ISA would reach the microkernel and
@@ -379,6 +379,13 @@ Gemm::multiply(Matrix &dst, const Matrix &a, const Matrix &b, Trans trans,
             strfmt("gemm: backend %s is not available on this host",
                    backendName(backend)));
     }
+    // Fast mode executes Gelu epilogues as GeluFast (the vectorized
+    // polynomial tanh); an explicitly requested GeluFast act is always
+    // honored regardless of mode.
+    Epilogue ep = epilogue;
+    if (ep.act == Epilogue::Act::Gelu &&
+        epilogueMode() == EpilogueMode::FusedFast)
+        ep.act = Epilogue::Act::GeluFast;
     const GemmDims dims = checkedDims(a, b, trans);
     // Matrix always owns its storage, so object identity is the only
     // possible aliasing.
@@ -566,9 +573,11 @@ Gemm::epilogueMode()
         if (env && *env) {
             if (std::string(env) == "unfused") {
                 resolved = static_cast<int>(EpilogueMode::Unfused);
+            } else if (std::string(env) == "fast") {
+                resolved = static_cast<int>(EpilogueMode::FusedFast);
             } else if (std::string(env) != "fused") {
                 warn("VITALITY_EPILOGUE=%s not recognized (want "
-                     "fused|unfused); using fused",
+                     "fused|unfused|fast); using fused",
                      env);
             }
         }
@@ -590,7 +599,15 @@ Gemm::setEpilogueMode(EpilogueMode mode)
 const char *
 Gemm::epilogueModeName(EpilogueMode mode)
 {
-    return mode == EpilogueMode::Fused ? "fused" : "unfused";
+    switch (mode) {
+    case EpilogueMode::Fused:
+        return "fused";
+    case EpilogueMode::Unfused:
+        return "unfused";
+    case EpilogueMode::FusedFast:
+        return "fast";
+    }
+    return "unknown";
 }
 
 } // namespace vitality

@@ -45,10 +45,13 @@
  * backend — asserted by test_gemm for every epilogue combination on
  * both backends, and the basis on which VitEncoder's fused rewrite
  * kept all of its bitwise batch/sequential parity guarantees. The
- * VITALITY_EPILOGUE environment variable ("fused", the default, or
- * "unfused") or setEpilogueMode() force the unfused fallback path —
- * a bench/debug lever, not a numerics one, precisely because the two
- * modes agree bitwise.
+ * VITALITY_EPILOGUE environment variable ("fused", the default,
+ * "unfused", or "fast") or setEpilogueMode() force the unfused
+ * fallback path — a bench/debug lever, not a numerics one, precisely
+ * because those two modes agree bitwise — or the fast mode, which
+ * additionally swaps the GELU's std::tanh for the vectorized
+ * polynomial tanhApprox (tensor/ops.h; <= 4e-7 absolute error, the
+ * one mode that is a numerics lever, and an opt-in one).
  *
  * Numerical contract (the documented cross-backend tolerance): both
  * backends accumulate every output element as a single running sum over
@@ -141,6 +144,16 @@ class Gemm
         {
             None, ///< Identity.
             Gelu, ///< tanh-approximation GELU (geluScalar in tensor/ops.h).
+            /**
+             * GELU with the polynomial tanhApprox inside
+             * (geluApproxScalar in tensor/ops.h): vectorized in the
+             * AVX2 write-back, bitwise-identical to the scalar
+             * fallback on every backend and edge path, within the
+             * documented 4e-7 tanh bound of Act::Gelu. Normally
+             * selected via VITALITY_EPILOGUE=fast rather than
+             * requested directly.
+             */
+            GeluFast,
         };
 
         /**
@@ -183,11 +196,21 @@ class Gemm
         }
     };
 
-    /** "fused" (default) or "unfused" — see VITALITY_EPILOGUE above. */
+    /**
+     * "fused" (default), "unfused", or "fast" — see VITALITY_EPILOGUE
+     * above. Fast is fused plus the vectorized polynomial tanh in the
+     * GELU: Act::Gelu epilogues are executed as Act::GeluFast. Unlike
+     * the fused/unfused pair (bitwise-identical), fast trades the
+     * documented tanhApprox bound (<= 4e-7 absolute, tensor/ops.h)
+     * for skipping a std::tanh per MLP-hidden element; the fast
+     * path is still deterministic and bitwise-identical across
+     * backends' epilogue application.
+     */
     enum class EpilogueMode
     {
         Fused,   ///< Post-ops applied in the backend's write-back.
         Unfused, ///< Plain GEMM to scratch + separate epilogue pass.
+        FusedFast, ///< Fused, with Gelu executed as GeluFast.
     };
 
     /**
@@ -293,7 +316,7 @@ class Gemm
     /** Force the epilogue mode (test/bench hook). */
     static void setEpilogueMode(EpilogueMode mode);
 
-    /** "fused" or "unfused", for bench/trajectory reporting. */
+    /** "fused", "unfused", or "fast", for bench/trajectory reporting. */
     static const char *epilogueModeName(EpilogueMode mode);
 };
 

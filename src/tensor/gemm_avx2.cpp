@@ -51,11 +51,13 @@
 #include <immintrin.h>
 
 #include <algorithm>
+#include <cmath>
 #include <cstring>
 
 #include "tensor/gemm.h"
 #include "tensor/gemm_epilogue.h"
 #include "tensor/ops.h"
+#include "tensor/transcendental.h"
 #include "tensor/workspace.h"
 
 namespace vitality {
@@ -66,6 +68,181 @@ namespace {
 constexpr size_t kMr = 6;   ///< Microkernel rows (A panel height).
 constexpr size_t kNr = 16;  ///< Microkernel cols (B panel width, 2 ymm).
 constexpr size_t kKc = 256; ///< k-dimension cache-block depth.
+
+// --- vectorized polynomial GELU (Act::GeluFast) -----------------------------
+//
+// Lane-for-lane the same program as the scalar exp2Core /
+// tanhApproxCore / geluApproxScalar in tensor/ops.cpp: identical
+// constants (tensor/transcendental.h), identical operation order, and
+// deliberately plain mul/add — no _mm256_fmadd_ps — because the scalar
+// fallback (baseline ISA, -ffp-contract=off) rounds every product and
+// sum separately, and the fast GELU's bitwise contract is that full
+// tiles (these vectors) and ragged edges (epilogueApplyRow ->
+// geluApproxScalar) produce identical bits. The max/min clamps rely on
+// the documented vmaxps/vminps NaN-takes-the-second-operand semantics,
+// which the scalar selects mirror.
+
+inline __m256
+exp2Core8(__m256 z)
+{
+    __m256 zc = _mm256_max_ps(z, _mm256_set1_ps(-kExp2Clamp));
+    zc = _mm256_min_ps(zc, _mm256_set1_ps(kExp2Clamp));
+    const __m256 magic = _mm256_set1_ps(kRoundMagic);
+    const __m256 nf = _mm256_sub_ps(_mm256_add_ps(zc, magic), magic);
+    const __m256 f = _mm256_sub_ps(zc, nf);
+    __m256 p = _mm256_set1_ps(kExp2C7);
+    p = _mm256_add_ps(_mm256_mul_ps(p, f), _mm256_set1_ps(kExp2C6));
+    p = _mm256_add_ps(_mm256_mul_ps(p, f), _mm256_set1_ps(kExp2C5));
+    p = _mm256_add_ps(_mm256_mul_ps(p, f), _mm256_set1_ps(kExp2C4));
+    p = _mm256_add_ps(_mm256_mul_ps(p, f), _mm256_set1_ps(kExp2C3));
+    p = _mm256_add_ps(_mm256_mul_ps(p, f), _mm256_set1_ps(kExp2C2));
+    p = _mm256_add_ps(_mm256_mul_ps(p, f), _mm256_set1_ps(kExp2C1));
+    p = _mm256_add_ps(_mm256_mul_ps(p, f), _mm256_set1_ps(1.0f));
+    // 2^n by exponent bits; nf is integral, so the rounding cvt is
+    // exact, matching the scalar truncating cast.
+    const __m256i n = _mm256_cvtps_epi32(nf);
+    const __m256i bits =
+        _mm256_slli_epi32(_mm256_add_epi32(n, _mm256_set1_epi32(127)), 23);
+    return _mm256_mul_ps(p, _mm256_castsi256_ps(bits));
+}
+
+inline __m256
+tanhApprox8(__m256 x)
+{
+    __m256 t = _mm256_max_ps(x, _mm256_set1_ps(-kTanhClamp));
+    t = _mm256_min_ps(t, _mm256_set1_ps(kTanhClamp));
+    const __m256 e2x =
+        exp2Core8(_mm256_mul_ps(t, _mm256_set1_ps(kTwoLog2e)));
+    const __m256 one = _mm256_set1_ps(1.0f);
+    return _mm256_div_ps(_mm256_sub_ps(e2x, one),
+                         _mm256_add_ps(e2x, one));
+}
+
+inline __m256
+geluApprox8(__m256 x)
+{
+    const __m256 x3 = _mm256_mul_ps(_mm256_mul_ps(x, x), x);
+    const __m256 inner = _mm256_mul_ps(
+        _mm256_set1_ps(kGeluSqrt2OverPi),
+        _mm256_add_ps(x, _mm256_mul_ps(_mm256_set1_ps(kGeluCubic), x3)));
+    const __m256 one = _mm256_set1_ps(1.0f);
+    return _mm256_mul_ps(
+        _mm256_mul_ps(_mm256_set1_ps(0.5f), x),
+        _mm256_add_ps(one, tanhApprox8(inner)));
+}
+
+} // namespace
+
+/**
+ * 8-lane twin of the scalar approx row softmax in tensor/ops.cpp
+ * (which dispatches here when the AVX2 backend is active). Bitwise
+ * equality with the scalar loop holds element by element: the max
+ * reduction is exactly associative, the exp lanes run the shared
+ * exp2 program (tails through the one scalar definition,
+ * exp2CoreScalar), the denominator is accumulated scalar in index
+ * order, and the normalize multiply is element-wise.
+ */
+void
+softmaxRowsApproxAvx2(Matrix &dst, const Matrix &a)
+{
+    dst.resize(a.rows(), a.cols());
+    const size_t n = a.cols();
+    const __m256 vl2e = _mm256_set1_ps(kLog2e);
+    for (size_t r = 0; r < a.rows(); ++r) {
+        const float *in = a.rowPtr(r);
+        float *out = dst.rowPtr(r);
+
+        float maxv;
+        size_t c;
+        if (n >= 8) {
+            __m256 vmax = _mm256_loadu_ps(in);
+            for (c = 8; c + 8 <= n; c += 8)
+                vmax = _mm256_max_ps(vmax, _mm256_loadu_ps(in + c));
+            __m128 m = _mm_max_ps(_mm256_castps256_ps128(vmax),
+                                  _mm256_extractf128_ps(vmax, 1));
+            m = _mm_max_ps(m, _mm_movehl_ps(m, m));
+            m = _mm_max_ss(m, _mm_shuffle_ps(m, m, 1));
+            maxv = _mm_cvtss_f32(m);
+        } else {
+            maxv = in[0];
+            c = 1;
+        }
+        for (; c < n; ++c)
+            maxv = std::max(maxv, in[c]);
+
+        const __m256 vmaxb = _mm256_set1_ps(maxv);
+        size_t e = 0;
+        for (; e + 8 <= n; e += 8) {
+            const __m256 z = _mm256_mul_ps(
+                _mm256_sub_ps(_mm256_loadu_ps(in + e), vmaxb), vl2e);
+            _mm256_storeu_ps(out + e, exp2Core8(z));
+        }
+        for (; e < n; ++e)
+            out[e] = exp2CoreScalar((in[e] - maxv) * kLog2e);
+
+        float denom = 0.0f;
+        for (size_t j = 0; j < n; ++j)
+            denom += out[j];
+        const float inv = 1.0f / denom;
+        const __m256 vinv = _mm256_set1_ps(inv);
+        size_t j = 0;
+        for (; j + 8 <= n; j += 8)
+            _mm256_storeu_ps(
+                out + j, _mm256_mul_ps(_mm256_loadu_ps(out + j), vinv));
+        for (; j < n; ++j)
+            out[j] *= inv;
+    }
+}
+
+/** 8-lane |max| reduction; max is exactly associative, so this equals
+ * the scalar loop in ops.cpp for any lane grouping. */
+float
+maxAbsAvx2(const float *data, size_t count)
+{
+    const __m256 absMask =
+        _mm256_castsi256_ps(_mm256_set1_epi32(0x7fffffff));
+    __m256 vbest = _mm256_setzero_ps();
+    size_t i = 0;
+    for (; i + 8 <= count; i += 8)
+        vbest = _mm256_max_ps(
+            vbest, _mm256_and_ps(_mm256_loadu_ps(data + i), absMask));
+    __m128 m = _mm_max_ps(_mm256_castps256_ps128(vbest),
+                          _mm256_extractf128_ps(vbest, 1));
+    m = _mm_max_ps(m, _mm_movehl_ps(m, m));
+    m = _mm_max_ss(m, _mm_shuffle_ps(m, m, 1));
+    float best = _mm_cvtss_f32(m);
+    for (; i < count; ++i)
+        best = std::max(best, std::fabs(data[i]));
+    return best;
+}
+
+/**
+ * 8-lane twin of the quantizer loop in sparse/predictor.cpp:
+ * dst[i] = (src[i] * inv_step rounded to nearest-even) * step, the
+ * magic-number rounding as two float adds. Lane program identical to
+ * the scalar fallback, so quantized values are backend-independent.
+ */
+void
+quantizeRowAvx2(float *dst, const float *src, size_t count,
+                float inv_step, float step)
+{
+    const __m256 vinv = _mm256_set1_ps(inv_step);
+    const __m256 vstep = _mm256_set1_ps(step);
+    const __m256 vmagic = _mm256_set1_ps(kRoundMagic);
+    size_t i = 0;
+    for (; i + 8 <= count; i += 8) {
+        const __m256 x = _mm256_loadu_ps(src + i);
+        const __m256 q = _mm256_sub_ps(
+            _mm256_add_ps(_mm256_mul_ps(x, vinv), vmagic), vmagic);
+        _mm256_storeu_ps(dst + i, _mm256_mul_ps(q, vstep));
+    }
+    for (; i < count; ++i) {
+        const float q = (src[i] * inv_step + kRoundMagic) - kRoundMagic;
+        dst[i] = q * step;
+    }
+}
+
+namespace {
 
 /**
  * Pack op(A) rows [i0, i0+rows) into a kMr x k panel, layout
@@ -209,9 +386,11 @@ microKernel6x16(size_t k, const float *pa, const float *pb,
  * edges go through the shared scalar helper (gemm_epilogue.h). The two
  * agree bitwise because a vector float add is the same rounding as a
  * scalar float add lane by lane — the vector path is the one
- * intentional second copy of the canonical element order. Only the
- * GELU stays scalar (it is a std::tanh per element in every path,
- * fused or not).
+ * intentional second copy of the canonical element order. The exact
+ * GELU (Act::Gelu) stays scalar — it is a std::tanh per element in
+ * every path, fused or not — while Act::GeluFast runs the vectorized
+ * polynomial above, whose lanes are bitwise-equal to the
+ * geluApproxScalar fallback by construction.
  */
 void
 epilogueStoreTile(float *tile, Matrix &dst, size_t i0, size_t j0,
@@ -239,6 +418,12 @@ epilogueStoreTile(float *tile, Matrix &dst, size_t i0, size_t j0,
                     src[c] = geluScalar(src[c]);
                 v0 = _mm256_loadu_ps(src);
                 v1 = _mm256_loadu_ps(src + 8);
+            } else if (ep.act == Gemm::Epilogue::Act::GeluFast) {
+                // In-register polynomial GELU: no std::tanh, no store
+                // round-trip; bitwise-equal to geluApproxScalar per
+                // lane (see the vector-program comment above).
+                v0 = geluApprox8(v0);
+                v1 = geluApprox8(v1);
             }
             float *out = dst.rowPtr(i0 + r) + j0;
             if (ep.accumulate) {
@@ -252,8 +437,7 @@ epilogueStoreTile(float *tile, Matrix &dst, size_t i0, size_t j0,
     }
     for (size_t r = 0; r < mEff; ++r)
         epilogueApplyRow(dst.rowPtr(i0 + r) + j0, tile + r * kNr, bias,
-                         nEff, ep.accumulate,
-                         ep.act == Gemm::Epilogue::Act::Gelu);
+                         nEff, ep.accumulate, ep.act);
 }
 
 } // namespace

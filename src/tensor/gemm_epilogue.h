@@ -29,20 +29,23 @@ namespace detail {
 
 /**
  * Write n finished raw products src[0..n) through the epilogue into
- * dst[0..n): t = src[j]; t += bias[j] if bias; t = gelu(t) if gelu;
- * dst[j] = accumulate ? dst[j] + t : t. bias is pre-offset by the
- * caller (nullptr when the epilogue has none).
+ * dst[0..n): t = src[j]; t += bias[j] if bias; t = act(t) (geluScalar
+ * for Gelu, geluApproxScalar for GeluFast); dst[j] = accumulate ?
+ * dst[j] + t : t. bias is pre-offset by the caller (nullptr when the
+ * epilogue has none).
  */
 inline void
 epilogueApplyRow(float *dst, const float *src, const float *bias,
-                 size_t n, bool accumulate, bool geluAct)
+                 size_t n, bool accumulate, Gemm::Epilogue::Act act)
 {
     for (size_t j = 0; j < n; ++j) {
         float t = src[j];
         if (bias)
             t += bias[j];
-        if (geluAct)
+        if (act == Gemm::Epilogue::Act::Gelu)
             t = geluScalar(t);
+        else if (act == Gemm::Epilogue::Act::GeluFast)
+            t = geluApproxScalar(t);
         dst[j] = accumulate ? dst[j] + t : t;
     }
 }
@@ -53,7 +56,7 @@ epilogueApplyRow(float *dst, const float *src, size_t n,
                  const Gemm::Epilogue &ep)
 {
     epilogueApplyRow(dst, src, ep.bias ? ep.bias->rowPtr(0) : nullptr, n,
-                     ep.accumulate, ep.act == Gemm::Epilogue::Act::Gelu);
+                     ep.accumulate, ep.act);
 }
 
 } // namespace detail

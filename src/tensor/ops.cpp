@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <cstring>
 #include <stdexcept>
 
 #include "base/logging.h"
 #include "tensor/gemm.h"
+#include "tensor/transcendental.h"
 
 namespace vitality {
 
@@ -515,6 +518,138 @@ geluScalar(float x)
     return 0.5f * x * (1.0f + std::tanh(inner));
 }
 
+// --- polynomial transcendentals ---------------------------------------------
+//
+// The exp2 core shared by expApprox / tanhApprox / softmaxRowsApprox.
+// Every step is a plain IEEE mul/add/compare (no FMA, no library
+// call), so the sequence rounds identically wherever it is
+// instantiated — which is what lets the AVX2 row kernels in
+// gemm_avx2.cpp (the GELU epilogue, the approx softmax, the
+// quantizer) replicate it lane by lane and stay bitwise-equal to
+// these scalar fallbacks. Rounding to nearest-even uses the
+// 1.5 * 2^23 magic-number trick instead of nearbyint, keeping the
+// program free of rounding-mode library calls on every path.
+
+namespace detail {
+
+/**
+ * 2^z with z clamped to [-126, 126] (normal-exponent range; the clamp
+ * also absorbs NaN, which compares false and lands on -126). The two
+ * selects mirror AVX2 max/min semantics — (a > b) ? a : b with NaN
+ * taking the second operand — so the vector twin (exp2Core8 in
+ * gemm_avx2.cpp) is the same program lane by lane.
+ */
+float
+exp2CoreScalar(float z)
+{
+    float zc = (z > -kExp2Clamp) ? z : -kExp2Clamp;
+    zc = (zc < kExp2Clamp) ? zc : kExp2Clamp;
+    const float nf = (zc + kRoundMagic) - kRoundMagic;
+    const float f = zc - nf;
+    float p = kExp2C7;
+    p = p * f + kExp2C6;
+    p = p * f + kExp2C5;
+    p = p * f + kExp2C4;
+    p = p * f + kExp2C3;
+    p = p * f + kExp2C2;
+    p = p * f + kExp2C1;
+    p = p * f + 1.0f;
+    const int32_t n = static_cast<int32_t>(nf);
+    const uint32_t bits = static_cast<uint32_t>(n + 127) << 23;
+    float scale;
+    std::memcpy(&scale, &bits, sizeof(scale));
+    return p * scale;
+}
+
+#if VITALITY_HAVE_AVX2
+// Defined in gemm_avx2.cpp (compiled with -mavx2 -mfma); only called
+// after the Gemm dispatcher's runtime CPUID check selected the AVX2
+// backend. Bitwise-identical to the scalar loops by the shared
+// lane-program contract (and, for maxAbs, exact associativity of max).
+void softmaxRowsApproxAvx2(Matrix &dst, const Matrix &a);
+float maxAbsAvx2(const float *data, size_t count);
+#endif
+
+} // namespace detail
+
+namespace {
+
+using detail::kLog2e;
+using detail::kTanhClamp;
+using detail::kTwoLog2e;
+
+inline float
+tanhApproxCore(float x)
+{
+    float t = (x > -kTanhClamp) ? x : -kTanhClamp;
+    t = (t < kTanhClamp) ? t : kTanhClamp;
+    const float e2x = detail::exp2CoreScalar(t * kTwoLog2e);
+    return (e2x - 1.0f) / (e2x + 1.0f);
+}
+
+} // namespace
+
+float
+expApprox(float x)
+{
+    return detail::exp2CoreScalar(x * kLog2e);
+}
+
+float
+tanhApprox(float x)
+{
+    return tanhApproxCore(x);
+}
+
+float
+geluApproxScalar(float x)
+{
+    // Same inner-polynomial order as the AVX2 lane program in
+    // gemm_avx2.cpp: x^3 as (x * x) * x, inner as
+    // kGeluSqrt2OverPi * (x + kGeluCubic * x^3), result as
+    // (0.5 * x) * (1 + tanh).
+    const float x3 = (x * x) * x;
+    const float inner =
+        detail::kGeluSqrt2OverPi * (x + detail::kGeluCubic * x3);
+    return (0.5f * x) * (1.0f + tanhApproxCore(inner));
+}
+
+void
+softmaxRowsApproxInto(Matrix &dst, const Matrix &a)
+{
+    if (a.size() == 0) {
+        dst.resize(a.rows(), a.cols());
+        return;
+    }
+#if VITALITY_HAVE_AVX2
+    // Ride the Gemm dispatcher's CPUID-checked backend choice: when
+    // the AVX2 backend is active, the 8-lane row kernel runs the same
+    // program 8 elements at a time (bitwise-identical results, so the
+    // predicted masks cannot depend on the backend).
+    if (Gemm::active() == Gemm::Backend::Avx2) {
+        detail::softmaxRowsApproxAvx2(dst, a);
+        return;
+    }
+#endif
+    dst.resize(a.rows(), a.cols());
+    for (size_t r = 0; r < a.rows(); ++r) {
+        const float *in = a.rowPtr(r);
+        float *out = dst.rowPtr(r);
+        float maxv = in[0];
+        for (size_t c = 1; c < a.cols(); ++c)
+            maxv = std::max(maxv, in[c]);
+        for (size_t c = 0; c < a.cols(); ++c)
+            out[c] =
+                detail::exp2CoreScalar((in[c] - maxv) * kLog2e);
+        float denom = 0.0f;
+        for (size_t c = 0; c < a.cols(); ++c)
+            denom += out[c];
+        const float inv = 1.0f / denom;
+        for (size_t c = 0; c < a.cols(); ++c)
+            out[c] *= inv;
+    }
+}
+
 void
 geluInto(Matrix &dst, const Matrix &a)
 {
@@ -597,6 +732,13 @@ concatCols(const Matrix &a, const Matrix &b)
 float
 maxAbs(const Matrix &a)
 {
+#if VITALITY_HAVE_AVX2
+    // Max is exactly associative, so the 8-lane reduction returns the
+    // same value as the scalar loop; the quantizer calls this per
+    // sparse-branch forward, which is what makes it worth dispatching.
+    if (Gemm::active() == Gemm::Backend::Avx2)
+        return detail::maxAbsAvx2(a.data(), a.size());
+#endif
     float best = 0.0f;
     for (size_t i = 0; i < a.size(); ++i)
         best = std::max(best, std::fabs(a.data()[i]));

@@ -50,6 +50,61 @@ namespace vitality {
  */
 float geluScalar(float x);
 
+/**
+ * @name Polynomial transcendental approximations
+ *
+ * One exp2 core — round-to-nearest argument split 2^z = 2^n * 2^f,
+ * f in [-0.5, 0.5], degree-7 polynomial for 2^f, exponent-bit scale by
+ * 2^n — backs all three functions. They exist because std::exp /
+ * std::tanh are the encoder's largest non-GEMM costs (the predictor's
+ * n^2 softmax and the GELU epilogue); the approximations are branch-free
+ * mul/add/min/max sequences that auto-vectorize, and the AVX2 GELU
+ * epilogue (gemm_avx2.cpp) replicates the exact same operation order
+ * lane by lane, so the vector path and this scalar fallback are
+ * bitwise-identical (asserted in test_gemm).
+ *
+ * Accuracy (verified over dense sweeps in test_ops):
+ *   - expApprox: relative error <= 1e-5 over [-87, 87] and <= 6e-7
+ *     over [-5, 5], the softmax regime (the polynomial contributes
+ *     < 1e-8; the rest is the z = x * log2(e) argument rounding,
+ *     which grows linearly in |x| — measured 7.6e-6 at |x| = 87).
+ *   - tanhApprox: absolute error <= 4e-7 everywhere (measured
+ *     1.4e-7) — about 2 ULP of the function's +/-1 range; |x| >= 10
+ *     returns exactly +/-1.
+ * Edge semantics: inputs are clamped before the exponent split, so
+ * NaN does not propagate through expApprox / tanhApprox themselves
+ * (NaN clamps like -inf), tanhApprox(-0) is +0, and expApprox
+ * flushes to 2^-126 instead of 0 at the underflow end. Exact softmax
+ * paths (SoftmaxAttention, maskedSoftmax*) keep std::exp; only the
+ * quantized Sanger prediction front-end and the opt-in fast GELU
+ * epilogue (VITALITY_EPILOGUE=fast) use these.
+ */
+/// @{
+
+/** e^x via the exp2 core. */
+float expApprox(float x);
+
+/** tanh(x) = (e^2x - 1) / (e^2x + 1) via the exp2 core. */
+float tanhApprox(float x);
+
+/**
+ * Tanh-approximation GELU with tanhApprox inside — the fast twin of
+ * geluScalar, used by the GEMM write-back under VITALITY_EPILOGUE=fast
+ * (and its bitwise scalar reference on every backend and edge path).
+ */
+float geluApproxScalar(float x);
+
+/**
+ * Row-wise softmax with expApprox inside — the low-precision softmax
+ * of the Sanger prediction front-end (sparse/predictor.h), where the
+ * estimate only feeds a threshold compare and Sanger hardware runs the
+ * whole pass in 4 bits anyway. The per-row loop lives out of line so
+ * the compiler vectorizes the polynomial; results match calling
+ * expApprox per element bitwise.
+ */
+void softmaxRowsApproxInto(Matrix &dst, const Matrix &a);
+/// @}
+
 /** C = A * B. A is m x k, B is k x n. */
 Matrix matmul(const Matrix &a, const Matrix &b);
 

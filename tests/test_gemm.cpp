@@ -19,6 +19,7 @@
 #include <cstdio>
 #include <limits>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "attention/zoo.h"
@@ -340,9 +341,12 @@ testFusedEpilogueParity()
 
     Rng rng(0x6e66);
     Matrix a, b, fused, ref, fusedViaMode;
-    // Restore whatever mode the run started in (it may be the env
-    // override under test, e.g. VITALITY_EPILOGUE=unfused).
+    // This test pins the exact-GELU fused/unfused contract, so it must
+    // not run under the fast mode (which deliberately swaps the GELU);
+    // pin Fused here and restore the run's mode (possibly the env
+    // override under test, e.g. VITALITY_EPILOGUE=unfused) at the end.
     const Gemm::EpilogueMode modeBefore = Gemm::epilogueMode();
+    Gemm::setEpilogueMode(Gemm::EpilogueMode::Fused);
     size_t combos = 0;
     for (const Shape &s : shapes) {
         for (Gemm::Trans trans : modes) {
@@ -388,7 +392,8 @@ testFusedEpilogueParity()
                             fusedViaMode.copyFrom(init);
                             Gemm::multiply(fusedViaMode, a, b, trans,
                                            ep, backend);
-                            Gemm::setEpilogueMode(modeBefore);
+                            Gemm::setEpilogueMode(
+                                Gemm::EpilogueMode::Fused);
                             T_CHECK(fusedViaMode == fused);
                             ++combos;
                         }
@@ -397,8 +402,76 @@ testFusedEpilogueParity()
             }
         }
     }
+    Gemm::setEpilogueMode(modeBefore);
     std::printf("  %zu fused-epilogue combos checked (avx2 %s)\n", combos,
                 avx2Here() ? "on" : "absent, scalar only");
+}
+
+/**
+ * The fast-GELU epilogue (Act::GeluFast / VITALITY_EPILOGUE=fast):
+ * bitwise-equal to applying geluApproxScalar per element after the
+ * bias — on both backends, across full 8-lane tiles and ragged edges
+ * (the AVX2 write-back vectorizes full tiles and falls back to the
+ * scalar helper on edges; the contract is that nobody can tell), and
+ * whether requested explicitly or via the mode knob rewriting Gelu.
+ */
+void
+testFastGeluEpilogue()
+{
+    struct Shape
+    {
+        size_t m, n, k;
+    };
+    // n = 16 exercises pure full tiles, the others ragged columns; the
+    // last is the MLP hidden shape where the fast path matters.
+    const std::vector<Shape> shapes = {
+        {1, 1, 1}, {6, 16, 8}, {7, 19, 5}, {12, 32, 64}, {29, 61, 197}};
+
+    Rng rng(0x6e88);
+    const Gemm::EpilogueMode modeBefore = Gemm::epilogueMode();
+    Matrix a, b, product, fast, viaMode, expect;
+    for (const Shape &s : shapes) {
+        makeOperands(a, b, Gemm::Trans::None, s.m, s.n, s.k, rng);
+        const Matrix bias = Matrix::randn(1, s.n, rng);
+        for (Gemm::Backend backend :
+             {Gemm::Backend::Scalar, Gemm::Backend::Avx2}) {
+            if (backend == Gemm::Backend::Avx2 && !avx2Here())
+                continue;
+            Gemm::setEpilogueMode(Gemm::EpilogueMode::Fused);
+            Gemm::multiply(product, a, b, Gemm::Trans::None, backend);
+
+            // The documented element order with the approx activation.
+            expect.resize(s.m, s.n);
+            for (size_t i = 0; i < s.m; ++i)
+                for (size_t j = 0; j < s.n; ++j)
+                    expect(i, j) =
+                        geluApproxScalar(product(i, j) + bias(0, j));
+
+            Gemm::Epilogue ep = Gemm::Epilogue::withBias(bias);
+            ep.act = Gemm::Epilogue::Act::GeluFast;
+            Gemm::multiply(fast, a, b, Gemm::Trans::None, ep, backend);
+            T_CHECK(fast == expect);
+
+            // Mode knob: a plain Gelu epilogue under fast mode runs
+            // the same program.
+            Gemm::setEpilogueMode(Gemm::EpilogueMode::FusedFast);
+            Gemm::multiply(viaMode, a, b, Gemm::Trans::None,
+                           Gemm::Epilogue::withBiasGelu(bias), backend);
+            T_CHECK(viaMode == expect);
+            Gemm::setEpilogueMode(Gemm::EpilogueMode::Fused);
+        }
+    }
+
+    // Scalar and AVX2 backends agree bitwise on the *activation* (the
+    // raw products differ by FMA rounding, so compare the epilogue on
+    // an identical product): feed the same matrix through a k=0-style
+    // identity by using the scalar product as both backends' input via
+    // the expect matrices above — already covered; here just confirm
+    // the mode knob parses/round-trips.
+    Gemm::setEpilogueMode(Gemm::EpilogueMode::FusedFast);
+    T_CHECK(std::string(Gemm::epilogueModeName(Gemm::epilogueMode())) ==
+            "fast");
+    Gemm::setEpilogueMode(modeBefore);
 }
 
 void
@@ -506,6 +579,7 @@ main()
     testZeroDimsAndRecycling();
     testDeepKCacheBlocking();
     testFusedEpilogueParity();
+    testFastGeluEpilogue();
     testEpilogueValidation();
     testForwardBatchCrossBackendParity();
     return vitality::testing::finish("test_gemm");

@@ -11,6 +11,7 @@
 #include <stdexcept>
 
 #include "base/rng.h"
+#include "tensor/gemm.h"
 #include "tensor/matrix.h"
 #include "tensor/ops.h"
 #include "tensor/workspace.h"
@@ -298,6 +299,91 @@ testWorkspaceAlignedAcquire()
     T_CHECK_THROWS(ws.acquireAligned(8, 2), std::invalid_argument);
 }
 
+void
+testTranscendentalApprox()
+{
+    // The documented error bounds (ops.h): tanhApprox <= 4e-7 absolute
+    // everywhere; expApprox <= 1e-5 relative on [-87, 87] and <= 6e-7
+    // on [-5, 5] (the softmax regime). Dense sweeps against
+    // double-precision references.
+    double worst_tanh = 0.0;
+    for (double x = -12.0; x <= 12.0; x += 1.1e-4) {
+        const double err =
+            std::fabs((double)tanhApprox((float)x) - std::tanh(x));
+        worst_tanh = std::max(worst_tanh, err);
+    }
+    T_CHECK(worst_tanh <= 4e-7);
+
+    double worst_exp = 0.0, worst_exp_small = 0.0;
+    for (double x = -87.0; x <= 87.0; x += 7.9e-4) {
+        const double ref = std::exp(x);
+        const double err =
+            std::fabs((double)expApprox((float)x) - ref) / ref;
+        worst_exp = std::max(worst_exp, err);
+        if (std::fabs(x) <= 5.0)
+            worst_exp_small = std::max(worst_exp_small, err);
+    }
+    T_CHECK(worst_exp <= 1e-5);
+    T_CHECK(worst_exp_small <= 6e-7);
+
+    // Saturation, symmetry-ish edges, and the documented clamp
+    // semantics (no NaN propagation, no Inf from overflow).
+    T_CHECK(tanhApprox(10.0f) == 1.0f);
+    T_CHECK(tanhApprox(-10.0f) == -1.0f);
+    T_CHECK(tanhApprox(1e30f) == 1.0f);
+    T_CHECK(tanhApprox(-1e30f) == -1.0f);
+    T_CHECK(tanhApprox(0.0f) == 0.0f);
+    T_CHECK(std::isfinite(expApprox(1e30f)));
+    T_CHECK(expApprox(-1e30f) >= 0.0f);
+    T_CHECK(std::isfinite(tanhApprox(NAN)));
+    T_CHECK(std::isfinite(expApprox(NAN)));
+
+    // geluApproxScalar tracks the exact tanh-GELU within the tanh
+    // bound scaled by |x| / 2 (the derivative of the outer form).
+    for (double x = -8.0; x <= 8.0; x += 3.3e-4) {
+        const double ref = (double)geluScalar((float)x);
+        const double err = std::fabs((double)geluApproxScalar((float)x) - ref);
+        T_CHECK(err <= 4e-7 * (1.0 + std::fabs(x) / 2.0));
+    }
+
+    // The approx softmax is a softmax: rows sum to 1, entries positive,
+    // and it tracks the exact softmax closely.
+    Rng rng(0x7a94);
+    const Matrix a = Matrix::randn(13, 37, rng, 0.0f, 3.0f);
+    Matrix approx, exact;
+    softmaxRowsApproxInto(approx, a);
+    softmaxRowsInto(exact, a);
+    for (size_t r = 0; r < a.rows(); ++r) {
+        float sum = 0.0f;
+        for (size_t c = 0; c < a.cols(); ++c) {
+            T_CHECK(approx(r, c) >= 0.0f);
+            sum += approx(r, c);
+        }
+        T_CHECK_CLOSE(sum, 1.0f, 1e-5);
+    }
+    T_CHECK(maxAbsDiff(approx, exact) <= 1e-5f);
+
+    // Backend independence: when the AVX2 backend is available, the
+    // 8-lane row kernel must produce bitwise-identical results to the
+    // scalar core (this is what makes predicted masks
+    // backend-independent). Ragged widths cover the vector tails.
+    if (Gemm::available(Gemm::Backend::Avx2)) {
+        const Gemm::Backend before = Gemm::active();
+        for (size_t cols : {1ul, 3ul, 7ul, 8ul, 9ul, 31ul, 197ul}) {
+            const Matrix m = Matrix::randn(5, cols, rng, 0.0f, 2.0f);
+            Matrix va, vs;
+            Gemm::setActive(Gemm::Backend::Avx2);
+            softmaxRowsApproxInto(va, m);
+            const float maxabs_avx2 = maxAbs(m);
+            Gemm::setActive(Gemm::Backend::Scalar);
+            softmaxRowsApproxInto(vs, m);
+            T_CHECK(va == vs);
+            T_CHECK(maxabs_avx2 == maxAbs(m));
+        }
+        Gemm::setActive(before);
+    }
+}
+
 } // namespace
 
 int
@@ -310,6 +396,7 @@ main()
     testIntoVariantsMatchValueTwins();
     testWorkspaceRecycling();
     testGelu();
+    testTranscendentalApprox();
     testWorkspaceAlignedAcquire();
     return vitality::testing::finish("test_ops");
 }
