@@ -22,9 +22,10 @@
  * override with VITALITY_GEMM), pool_threads (worker count),
  * gemm_threads (the intra-GEMM row-band width the main thread would
  * fan out, after the VITALITY_THREADS cap), epilogue ("fused",
- * "unfused", or "fast"; VITALITY_EPILOGUE), and sparse_mode ("csr" or
- * "dense", VITALITY_SPARSE) — so the regression checker only compares
- * runs from matching configurations. Results are appended as
+ * "unfused", or "fast"; VITALITY_EPILOGUE), sparse_mode ("csr" or
+ * "dense", VITALITY_SPARSE), and quant_mode ("off" or "int8",
+ * VITALITY_QUANT) — so the regression checker only compares runs
+ * from matching configurations. Results are appended as
  * one timestamped, git-SHA-keyed entry to a trajectory JSON (an array
  * of runs), so BENCH_attention.json accumulates history across PRs
  * instead of being overwritten. A legacy single-snapshot file (the
@@ -200,6 +201,8 @@ entryJson(const std::vector<Result> &results, size_t pool_threads)
        << Gemm::epilogueModeName(Gemm::epilogueMode()) << "\",\n";
     os << "  \"sparse_mode\": \"" << sparseExecName(sparseExecMode())
        << "\",\n";
+    os << "  \"quant_mode\": \""
+       << Gemm::quantModeName(Gemm::quantMode()) << "\",\n";
     os << "  \"gemm_backend\": \"" << Gemm::activeName() << "\",\n";
     os << "  \"results\": [\n";
     for (size_t i = 0; i < results.size(); ++i) {
@@ -344,11 +347,13 @@ main(int argc, char **argv)
 
     ThreadPool pool;
     inform("gemm backend: %s, pool threads: %zu, gemm threads: %zu, "
-           "epilogue: %s, sparse: %s (override with VITALITY_GEMM / "
-           "VITALITY_THREADS / VITALITY_EPILOGUE / VITALITY_SPARSE)",
+           "epilogue: %s, sparse: %s, quant: %s (override with "
+           "VITALITY_GEMM / VITALITY_THREADS / VITALITY_EPILOGUE / "
+           "VITALITY_SPARSE / VITALITY_QUANT)",
            Gemm::activeName(), pool.size(), Gemm::parallelWidth(),
            Gemm::epilogueModeName(Gemm::epilogueMode()),
-           sparseExecName(sparseExecMode()));
+           sparseExecName(sparseExecMode()),
+           Gemm::quantModeName(Gemm::quantMode()));
     std::vector<Result> results;
     for (const VitConfig &cfg : models) {
         Rng rng(0xbe9c ^ cfg.dModel);

@@ -50,9 +50,12 @@ def load_trajectory(path):
 # sparse_mode (VITALITY_SPARSE, "csr" or "dense") joined in PR 5: a
 # dense-masked run is expected to be slower than a compressed one at
 # the same (model, kernel, batch) shape, so the two only compare
-# against themselves.
+# against themselves. quant_mode (VITALITY_QUANT, "off" or "int8")
+# joined in PR 6 for the same reason in the other direction: an int8
+# dense path is expected to be faster than fp32, and comparing across
+# the two would either mask fp32 regressions or flag the mode switch.
 CONFIG_FIELDS = ("gemm_backend", "pool_threads", "gemm_threads",
-                 "epilogue", "sparse_mode")
+                 "epilogue", "sparse_mode", "quant_mode")
 
 
 def comparable(old, new):

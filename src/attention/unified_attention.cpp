@@ -60,19 +60,17 @@ SangerSparseAttention::forwardInto(AttentionContext &ctx, const Matrix &q,
     Workspace &ws = ctx.workspace();
     Workspace::Frame frame(ws);
 
-    // One predicted map serves both the threshold mask and the row rescue
-    // (the legacy path computes it twice).
-    Matrix &predicted = ws.acquire(q.rows(), k.rows());
-    predictor_.predictedMapInto(predicted, q, k, ws);
-
+    // The prediction pass fuses the threshold compare (and the empty-row
+    // rescue) into its softmax walk, so the n^2 predicted map is never
+    // materialized here — only the kept set comes back.
     if (sparseExecMode() == SparseExec::Csr) {
         // Compressed execution: full-precision work happens only at the
-        // kept coordinates. The quantized prediction pass above stays
-        // dense — it is the part Sanger's hardware runs in low
-        // precision — but scores, softmax, and score x V are O(nnz d).
+        // kept coordinates. The quantized prediction pass stays dense —
+        // it is the part Sanger's hardware runs in low precision — but
+        // scores, softmax, and score x V are O(nnz d).
         CsrMask &csr = ctx.csr();
-        csr.assignFromThreshold(predicted, predictor_.threshold(),
-                                /*rescue_empty_rows=*/true);
+        predictor_.predictCsrInto(csr, q, k, ws,
+                                  /*rescue_empty_rows=*/true);
         const float inv_sqrt_d =
             1.0f / std::sqrt(static_cast<float>(q.cols()));
         Matrix &vals = ws.acquire(1, csr.nnz());
@@ -83,8 +81,7 @@ SangerSparseAttention::forwardInto(AttentionContext &ctx, const Matrix &q,
     }
 
     SparseMask &mask = ctx.mask();
-    mask.assignFromThreshold(predicted, predictor_.threshold());
-    mask.rescueEmptyRows(predicted);
+    predictor_.predictInto(mask, q, k, ws, /*rescue_empty_rows=*/true);
 
     Matrix &scores = ws.acquire(q.rows(), k.rows());
     SoftmaxAttention::similarityInto(scores, q, k);
@@ -257,10 +254,10 @@ UnifiedAttention::forwardCsrInto(AttentionContext &ctx, const Matrix &q,
     // the similarity scores minus the weak map, both evaluated per
     // kept (r, c) — O(nnz d) total. The weak entry reuses the sparse
     // similarity value: weak(r, c) = (q_r . khat_c + sqrt(d)) / t_D(r).
-    Matrix &predicted = ws.acquire(n, khat.rows());
-    predictor_.predictedMapInto(predicted, q, khat, ws);
+    // The fused prediction pass returns the kept set directly, never
+    // materializing the n^2 predicted map.
     CsrMask &csr = ctx.csr();
-    csr.assignFromThreshold(predicted, predictor_.threshold());
+    predictor_.predictCsrInto(csr, q, khat, ws);
     if (csr.nnz() == 0)
         return; // Fully pruned: the unified output IS the Taylor output.
 

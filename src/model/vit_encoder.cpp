@@ -23,13 +23,44 @@ const char *const kConcurrentCall =
 // happen in the GEMM write-back instead of as extra full passes over
 // the activations — and fused epilogues are bitwise-identical to the
 // unfused op sequence, so the parity guarantees survive the fusion.
+//
+// Each helper takes an optional QuantizedLayerWeights pointer: when
+// non-null (VITALITY_QUANT=int8) the dense GEMM is replaced by its
+// quantized twin — the fp32 activation is quantized per-row into a
+// thread-local scratch and multiplied against the cached int8 weights
+// with the very same epilogue descriptor, so bias/GELU/residual
+// semantics are unchanged. Quantization is a deterministic function of
+// the activation floats, so the batched path stays bitwise-identical
+// to per-image forward calls in int8 mode too.
+
+// Per-worker activation-quantization scratch. Each dense stage
+// re-quantizes into it, so at most one lives per pool worker.
+QuantizedMatrix &
+quantScratch(const Matrix &src)
+{
+    static thread_local QuantizedMatrix t_qact;
+    t_qact.assignActivations(src);
+    return t_qact;
+}
 
 // LN1 and the QKV projections: normed, q, k, v <- LN1(x), packed QKV.
+// The three projections share one quantization of `normed`.
 void
-attentionPre(const VitEncoder::LayerWeights &w, const Matrix &x,
+attentionPre(const VitEncoder::LayerWeights &w,
+             const VitEncoder::QuantizedLayerWeights *qw, const Matrix &x,
              Matrix &normed, Matrix &q, Matrix &k, Matrix &v)
 {
     layerNormRowsInto(normed, x, w.ln1Gamma, w.ln1Beta);
+    if (qw) {
+        const QuantizedMatrix &qa = quantScratch(normed);
+        Gemm::multiply(q, qa, qw->wq, Gemm::Trans::None,
+                       Gemm::Epilogue::withBias(w.bq));
+        Gemm::multiply(k, qa, qw->wk, Gemm::Trans::None,
+                       Gemm::Epilogue::withBias(w.bk));
+        Gemm::multiply(v, qa, qw->wv, Gemm::Trans::None,
+                       Gemm::Epilogue::withBias(w.bv));
+        return;
+    }
     Gemm::multiply(q, normed, w.wq, Gemm::Trans::None,
                    Gemm::Epilogue::withBias(w.bq));
     Gemm::multiply(k, normed, w.wk, Gemm::Trans::None,
@@ -40,9 +71,15 @@ attentionPre(const VitEncoder::LayerWeights &w, const Matrix &x,
 
 // Output projection and residual, one fused call: x += W_O attn + b_O.
 void
-attentionPost(const VitEncoder::LayerWeights &w, Matrix &x,
+attentionPost(const VitEncoder::LayerWeights &w,
+              const VitEncoder::QuantizedLayerWeights *qw, Matrix &x,
               const Matrix &attn)
 {
+    if (qw) {
+        Gemm::multiply(x, quantScratch(attn), qw->wo, Gemm::Trans::None,
+                       Gemm::Epilogue::accumulateWithBias(w.bo));
+        return;
+    }
     Gemm::multiply(x, attn, w.wo, Gemm::Trans::None,
                    Gemm::Epilogue::accumulateWithBias(w.bo));
 }
@@ -51,10 +88,19 @@ attentionPost(const VitEncoder::LayerWeights &w, Matrix &x,
 // GEMM's write-back, the bias + residual the second's — no separate
 // pass over the model's largest activation matrix remains.
 void
-mlpBlock(const VitEncoder::LayerWeights &w, Matrix &x, Matrix &normed,
-         Matrix &hidden)
+mlpBlock(const VitEncoder::LayerWeights &w,
+         const VitEncoder::QuantizedLayerWeights *qw, Matrix &x,
+         Matrix &normed, Matrix &hidden)
 {
     layerNormRowsInto(normed, x, w.ln2Gamma, w.ln2Beta);
+    if (qw) {
+        Gemm::multiply(hidden, quantScratch(normed), qw->w1,
+                       Gemm::Trans::None,
+                       Gemm::Epilogue::withBiasGelu(w.b1));
+        Gemm::multiply(x, quantScratch(hidden), qw->w2, Gemm::Trans::None,
+                       Gemm::Epilogue::accumulateWithBias(w.b2));
+        return;
+    }
     Gemm::multiply(hidden, normed, w.w1, Gemm::Trans::None,
                    Gemm::Epilogue::withBiasGelu(w.b1));
     Gemm::multiply(x, hidden, w.w2, Gemm::Trans::None,
@@ -123,11 +169,17 @@ VitEncoder::forwardInto(const Matrix &x_in, ThreadPool &pool, Matrix &out)
     Matrix &attn = ws_.acquire(n, d);
     Matrix &hidden = ws_.acquire(n, h);
 
-    for (const LayerWeights &w : layers_) {
-        attentionPre(w, x, normed, q, k, v);
+    const bool int8 = Gemm::quantMode() == Gemm::QuantMode::Int8;
+    if (int8)
+        ensureQuantizedWeights();
+
+    for (size_t l = 0; l < layers_.size(); ++l) {
+        const LayerWeights &w = layers_[l];
+        const QuantizedLayerWeights *qw = int8 ? &qlayers_[l] : nullptr;
+        attentionPre(w, qw, x, normed, q, k, v);
         mha_.forwardInto(pool, q, k, v, attn);
-        attentionPost(w, x, attn);
-        mlpBlock(w, x, normed, hidden);
+        attentionPost(w, qw, x, attn);
+        mlpBlock(w, qw, x, normed, hidden);
     }
 
     out.copyFrom(x);
@@ -166,21 +218,28 @@ VitEncoder::forwardBatchInto(const Batch &x_in, ThreadPool &pool,
     bv_.resize(batch, n, d);
     bhidden_.resize(batch, n, h);
 
-    for (const LayerWeights &w : layers_) {
+    const bool int8 = Gemm::quantMode() == Gemm::QuantMode::Int8;
+    if (int8)
+        ensureQuantizedWeights();
+
+    for (size_t l = 0; l < layers_.size(); ++l) {
+        const LayerWeights &w = layers_[l];
+        const QuantizedLayerWeights *qw = int8 ? &qlayers_[l] : nullptr;
         // Dense pre-attention stages, one image per task. The per-image
         // buffers are disjoint, so tasks never share floats, and GEMMs
         // issued inside a task stay sequential (the Gemm runner reports
         // width 1 on workers), so image-level parallelism is never
         // oversubscribed by intra-GEMM bands.
         pool.parallelFor(0, batch, [&](size_t b, size_t) {
-            attentionPre(w, bx_[b], bnormed_[b], bq_[b], bk_[b], bv_[b]);
+            attentionPre(w, qw, bx_[b], bnormed_[b], bq_[b], bk_[b],
+                         bv_[b]);
         });
         // Attention: B x heads work items through per-worker contexts.
         mha_.forwardBatchInto(pool, bq_, bk_, bv_, battn_);
         // Output projection, residual, and MLP, one image per task.
         pool.parallelFor(0, batch, [&](size_t b, size_t) {
-            attentionPost(w, bx_[b], battn_[b]);
-            mlpBlock(w, bx_[b], bnormed_[b], bhidden_[b]);
+            attentionPost(w, qw, bx_[b], battn_[b]);
+            mlpBlock(w, qw, bx_[b], bnormed_[b], bhidden_[b]);
         });
     }
 
@@ -193,6 +252,25 @@ VitEncoder::forwardBatch(const Batch &x, ThreadPool &pool)
     Batch out;
     forwardBatchInto(x, pool, out);
     return out;
+}
+
+void
+VitEncoder::ensureQuantizedWeights()
+{
+    if (qlayers_.size() == layers_.size())
+        return;
+    qlayers_.clear();
+    qlayers_.reserve(layers_.size());
+    for (const LayerWeights &w : layers_) {
+        QuantizedLayerWeights q;
+        q.wq.assignWeights(w.wq);
+        q.wk.assignWeights(w.wk);
+        q.wv.assignWeights(w.wv);
+        q.wo.assignWeights(w.wo);
+        q.w1.assignWeights(w.w1);
+        q.w2.assignWeights(w.w2);
+        qlayers_.push_back(std::move(q));
+    }
 }
 
 OpCounts

@@ -39,6 +39,7 @@
 #include "runtime/multi_head_attention.h"
 #include "runtime/thread_pool.h"
 #include "tensor/batch.h"
+#include "tensor/quantized_matrix.h"
 #include "tensor/workspace.h"
 
 namespace vitality {
@@ -59,6 +60,22 @@ class VitEncoder
         Matrix ln2Gamma, ln2Beta; ///< Pre-MLP layer norm, 1 x d.
         Matrix w1, b1;            ///< MLP up-projection d x h, 1 x h.
         Matrix w2, b2;            ///< MLP down-projection h x d, 1 x d.
+    };
+
+    /**
+     * INT8 twins of one layer's projection weights (symmetric
+     * per-tensor, tensor/quantized_matrix.h), built lazily on the
+     * first forward under Gemm::QuantMode::Int8 and cached for the
+     * life of the encoder. Layer norms, biases, and the attention
+     * kernels stay fp32; under the int8 mode the dense stages (QKV,
+     * output projection, both MLP GEMMs) run through the quantized
+     * Gemm::multiply with per-row-quantized activations, and the
+     * fp32-vs-int8 output deviation is bounded and asserted by
+     * test_quant.
+     */
+    struct QuantizedLayerWeights
+    {
+        QuantizedMatrix wq, wk, wv, wo, w1, w2;
     };
 
     /**
@@ -127,9 +144,15 @@ class VitEncoder
     OpCounts opCounts() const;
 
   private:
+    /** Build qlayers_ from layers_ if not already cached. */
+    void ensureQuantizedWeights();
+
     VitConfig cfg_;
     MultiHeadAttention mha_;
     std::vector<LayerWeights> layers_;
+    /** Lazily-built INT8 weight cache, empty until the first int8
+     * forward (see QuantizedLayerWeights). */
+    std::vector<QuantizedLayerWeights> qlayers_;
     Workspace ws_;
     /**
      * Per-image batch activations, recycled across forwardBatch calls.

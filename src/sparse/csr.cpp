@@ -82,43 +82,64 @@ void
 CsrMask::assignFromThreshold(const Matrix &scores, float threshold,
                              bool rescue_empty_rows)
 {
-    rows_ = scores.rows();
-    cols_ = scores.cols();
+    beginAssign(scores.rows(), scores.cols());
+    for (size_t r = 0; r < rows_; ++r)
+        appendRowFromThreshold(scores.rowPtr(r), threshold,
+                               rescue_empty_rows);
+}
+
+void
+CsrMask::beginAssign(size_t rows, size_t cols)
+{
+    rows_ = rows;
+    cols_ = cols;
     rowPtr_.clear();
     rowPtr_.reserve(rows_ + 1);
     colIdx_.clear();
     rowPtr_.push_back(0);
-    for (size_t r = 0; r < rows_; ++r) {
-        const float *row = scores.rowPtr(r);
-        const size_t row_begin = colIdx_.size();
-        size_t c = 0;
+}
+
+size_t
+CsrMask::appendRowFromThreshold(const float *row, float threshold,
+                                bool rescue_empty_row)
+{
+    VITALITY_ASSERT(rowPtr_.size() <= rows_,
+                    "csr appendRow past beginAssign row count");
+    const size_t row_begin = colIdx_.size();
+    size_t c = 0;
 #if defined(__SSE2__)
-        // Four-wide compare + movemask: at the thresholds that matter
-        // (T = 0.5 keeps well under 1% of entries) almost every group
-        // is empty and the scan reduces to one compare and one branch
-        // per four entries. cmpge is an exact predicate, so the kept
-        // set is identical to the scalar tail's.
-        const __m128 vt = _mm_set1_ps(threshold);
-        for (; c + 4 <= cols_; c += 4) {
-            const int hits = _mm_movemask_ps(
-                _mm_cmpge_ps(_mm_loadu_ps(row + c), vt));
-            if (!hits)
-                continue;
-            for (int lane = 0; lane < 4; ++lane) {
-                if (hits & (1 << lane))
-                    colIdx_.push_back(static_cast<uint32_t>(c + lane));
-            }
+    // Four-wide compare + movemask: at the thresholds that matter
+    // (T = 0.5 keeps well under 1% of entries) almost every group
+    // is empty and the scan reduces to one compare and one branch
+    // per four entries. cmpge is an exact predicate, so the kept
+    // set is identical to the scalar tail's.
+    const __m128 vt = _mm_set1_ps(threshold);
+    for (; c + 4 <= cols_; c += 4) {
+        const int hits = _mm_movemask_ps(
+            _mm_cmpge_ps(_mm_loadu_ps(row + c), vt));
+        if (!hits)
+            continue;
+        for (int lane = 0; lane < 4; ++lane) {
+            if (hits & (1 << lane))
+                colIdx_.push_back(static_cast<uint32_t>(c + lane));
         }
-#endif
-        for (; c < cols_; ++c) {
-            if (row[c] >= threshold)
-                colIdx_.push_back(static_cast<uint32_t>(c));
-        }
-        if (rescue_empty_rows && colIdx_.size() == row_begin && cols_ > 0)
-            colIdx_.push_back(
-                static_cast<uint32_t>(argmaxRow(scores, r)));
-        rowPtr_.push_back(static_cast<uint32_t>(colIdx_.size()));
     }
+#endif
+    for (; c < cols_; ++c) {
+        if (row[c] >= threshold)
+            colIdx_.push_back(static_cast<uint32_t>(c));
+    }
+    if (rescue_empty_row && colIdx_.size() == row_begin && cols_ > 0) {
+        // First maximum wins, matching argmaxRow (tensor/ops.h).
+        size_t best = 0;
+        for (size_t j = 1; j < cols_; ++j) {
+            if (row[j] > row[best])
+                best = j;
+        }
+        colIdx_.push_back(static_cast<uint32_t>(best));
+    }
+    rowPtr_.push_back(static_cast<uint32_t>(colIdx_.size()));
+    return colIdx_.size() - row_begin;
 }
 
 size_t

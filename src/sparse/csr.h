@@ -87,6 +87,25 @@ class CsrMask
     void assignFromThreshold(const Matrix &scores, float threshold,
                              bool rescue_empty_rows = false);
 
+    /**
+     * Start a row-at-a-time rebuild (recycling the index storage):
+     * beginAssign fixes the shape, then exactly rows() calls of
+     * appendRowFromThreshold supply the rows in order. Equivalent to
+     * assignFromThreshold over the same row data; used by the fused
+     * predictor pass (sparse/predictor.h), which never materializes
+     * the full score matrix.
+     */
+    void beginAssign(size_t rows, size_t cols);
+
+    /**
+     * Append the next row from a threshold over row[0 .. cols()) (>=
+     * keeps). With rescue_empty_row, a row that kept nothing gets its
+     * argmax entry instead (first maximum wins, as
+     * SparseMask::rescueEmptyRows). Returns the kept count.
+     */
+    size_t appendRowFromThreshold(const float *row, float threshold,
+                                  bool rescue_empty_row = false);
+
     size_t rows() const { return rows_; }
     size_t cols() const { return cols_; }
 

@@ -29,12 +29,31 @@ SparseMask::assignFromThreshold(const Matrix &scores, float threshold)
     rows_ = scores.rows();
     cols_ = scores.cols();
     bits_.resize(rows_ * cols_);
-    for (size_t r = 0; r < rows_; ++r) {
-        const float *row = scores.rowPtr(r);
-        uint8_t *bits = bits_.data() + r * cols_;
-        for (size_t c = 0; c < cols_; ++c)
-            bits[c] = row[c] >= threshold ? 1 : 0;
+    for (size_t r = 0; r < rows_; ++r)
+        assignRowFromThreshold(r, scores.rowPtr(r), threshold);
+}
+
+void
+SparseMask::assignZero(size_t rows, size_t cols)
+{
+    rows_ = rows;
+    cols_ = cols;
+    bits_.assign(rows * cols, 0);
+}
+
+size_t
+SparseMask::assignRowFromThreshold(size_t r, const float *probs,
+                                   float threshold)
+{
+    VITALITY_ASSERT(r < rows_, "mask row out of range");
+    uint8_t *bits = bits_.data() + r * cols_;
+    size_t kept = 0;
+    for (size_t c = 0; c < cols_; ++c) {
+        const uint8_t keep = probs[c] >= threshold ? 1 : 0;
+        bits[c] = keep;
+        kept += keep;
     }
+    return kept;
 }
 
 SparseMask

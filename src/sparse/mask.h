@@ -38,6 +38,21 @@ class SparseMask
      */
     void assignFromThreshold(const Matrix &scores, float threshold);
 
+    /**
+     * Resize (recycling the bit storage) to an all-zero mask. Pairs
+     * with assignRowFromThreshold for callers that build the mask one
+     * row at a time (the fused predictor pass, sparse/predictor.h).
+     */
+    void assignZero(size_t rows, size_t cols);
+
+    /**
+     * Overwrite row r from a threshold over probs[0 .. cols()) (>=
+     * keeps; same predicate as assignFromThreshold). Returns the
+     * number of kept entries in the row.
+     */
+    size_t assignRowFromThreshold(size_t r, const float *probs,
+                                  float threshold);
+
     size_t rows() const { return rows_; }
     size_t cols() const { return cols_; }
 

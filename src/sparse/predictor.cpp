@@ -1,9 +1,11 @@
 #include "sparse/predictor.h"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
 #include "attention/softmax_attention.h"
+#include "sparse/csr.h"
 #include "tensor/gemm.h"
 #include "tensor/ops.h"
 #include "tensor/transcendental.h"
@@ -100,6 +102,47 @@ SangerPredictor::predict(const Matrix &q, const Matrix &k) const
     return SparseMask::fromThreshold(predictedMap(q, k), threshold_);
 }
 
+namespace {
+
+/**
+ * One row of the approximate softmax into an O(n) buffer: the exact
+ * scalar row program of softmaxRowsApproxInto (tensor/ops.cpp) — max,
+ * exp2CoreScalar((x - max) * log2 e) in index order, denominator in
+ * index order, multiply by the reciprocal. The AVX2 row kernel that
+ * softmaxRowsApproxInto may dispatch to is bitwise-identical to this
+ * program, so masks derived from this buffer match masks derived from
+ * the materialized map on every backend.
+ */
+void
+softmaxApproxRow(float *out, const float *in, size_t n)
+{
+    float maxv = in[0];
+    for (size_t c = 1; c < n; ++c)
+        maxv = std::max(maxv, in[c]);
+    for (size_t c = 0; c < n; ++c)
+        out[c] = detail::exp2CoreScalar((in[c] - maxv) * detail::kLog2e);
+    float denom = 0.0f;
+    for (size_t c = 0; c < n; ++c)
+        denom += out[c];
+    const float inv = 1.0f / denom;
+    for (size_t c = 0; c < n; ++c)
+        out[c] *= inv;
+}
+
+/** First maximum wins, matching argmaxRow (tensor/ops.h). */
+size_t
+argmaxRowPtr(const float *row, size_t n)
+{
+    size_t best = 0;
+    for (size_t c = 1; c < n; ++c) {
+        if (row[c] > row[best])
+            best = c;
+    }
+    return best;
+}
+
+} // namespace
+
 void
 SangerPredictor::predictedMapInto(Matrix &dst, const Matrix &q,
                                   const Matrix &k, Workspace &ws) const
@@ -113,14 +156,70 @@ SangerPredictor::predictedMapInto(Matrix &dst, const Matrix &q,
     softmaxRowsApproxInto(dst, dst);
 }
 
+// Both fused prediction paths below share this shape: the quantized
+// similarity scores are still one n x n GEMM (that is where the
+// prediction's arithmetic lives, and Sanger's hardware runs it dense in
+// low precision), but the softmax + threshold walk each score row once
+// through an O(n) probability buffer — the normalized n^2 map the
+// legacy path wrote out and re-read is never materialized.
+
 void
 SangerPredictor::predictInto(SparseMask &mask, const Matrix &q,
-                             const Matrix &k, Workspace &ws) const
+                             const Matrix &k, Workspace &ws,
+                             bool rescue_empty_rows) const
 {
     Workspace::Frame frame(ws);
-    Matrix &map = ws.acquire(q.rows(), k.rows());
-    predictedMapInto(map, q, k, ws);
-    mask.assignFromThreshold(map, threshold_);
+    Matrix &scores = ws.acquire(q.rows(), k.rows());
+    {
+        Workspace::Frame inner(ws);
+        Matrix &qq = ws.acquire(q.rows(), q.cols());
+        quantizeSymmetricInto(qq, q, bits_);
+        Matrix &qk = ws.acquire(k.rows(), k.cols());
+        quantizeSymmetricInto(qk, k, bits_);
+        SoftmaxAttention::similarityInto(scores, qq, qk);
+    }
+    const size_t n = scores.cols();
+    mask.assignZero(scores.rows(), n);
+    if (n == 0)
+        return;
+    Matrix &prow = ws.acquire(1, n);
+    float *p = prow.data();
+    for (size_t r = 0; r < scores.rows(); ++r) {
+        softmaxApproxRow(p, scores.rowPtr(r), n);
+        const size_t kept = mask.assignRowFromThreshold(r, p, threshold_);
+        if (rescue_empty_rows && kept == 0)
+            mask.set(r, argmaxRowPtr(p, n), true);
+    }
+}
+
+void
+SangerPredictor::predictCsrInto(CsrMask &csr, const Matrix &q,
+                                const Matrix &k, Workspace &ws,
+                                bool rescue_empty_rows) const
+{
+    Workspace::Frame frame(ws);
+    Matrix &scores = ws.acquire(q.rows(), k.rows());
+    {
+        Workspace::Frame inner(ws);
+        Matrix &qq = ws.acquire(q.rows(), q.cols());
+        quantizeSymmetricInto(qq, q, bits_);
+        Matrix &qk = ws.acquire(k.rows(), k.cols());
+        quantizeSymmetricInto(qk, k, bits_);
+        SoftmaxAttention::similarityInto(scores, qq, qk);
+    }
+    const size_t n = scores.cols();
+    csr.beginAssign(scores.rows(), n);
+    if (n == 0) {
+        for (size_t r = 0; r < scores.rows(); ++r)
+            csr.appendRowFromThreshold(nullptr, threshold_, false);
+        return;
+    }
+    Matrix &prow = ws.acquire(1, n);
+    float *p = prow.data();
+    for (size_t r = 0; r < scores.rows(); ++r) {
+        softmaxApproxRow(p, scores.rowPtr(r), n);
+        csr.appendRowFromThreshold(p, threshold_, rescue_empty_rows);
+    }
 }
 
 } // namespace vitality

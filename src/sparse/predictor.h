@@ -18,6 +18,8 @@
 
 namespace vitality {
 
+class CsrMask;
+
 /**
  * Symmetric linear quantization of a matrix to the given bit width.
  * Values are mapped onto 2^(bits-1) - 1 signed levels scaled by the
@@ -65,9 +67,34 @@ class SangerPredictor
     void predictedMapInto(Matrix &dst, const Matrix &q, const Matrix &k,
                           Workspace &ws) const;
 
-    /** Allocation-free predict(): mask is recycled, scratch from ws. */
+    /**
+     * Allocation-free predict(): mask is recycled, scratch from ws.
+     *
+     * The threshold compare is fused into the approximate-softmax
+     * pass: each similarity row is normalized into an O(n) row buffer
+     * and thresholded on the spot, so the n^2 predicted map is never
+     * materialized — only predictedMapInto (tests/benches) still
+     * builds it. The per-row program is the exact scalar program of
+     * softmaxRowsApproxInto, which is bitwise-identical across
+     * backends, so the fused mask equals
+     * fromThreshold(predictedMap(q, k), threshold()) on every path.
+     *
+     * With rescue_empty_rows, a row that kept nothing gets its argmax
+     * probability entry instead (first maximum wins) — equivalent to
+     * SparseMask::rescueEmptyRows over the predicted map.
+     */
     void predictInto(SparseMask &mask, const Matrix &q, const Matrix &k,
-                     Workspace &ws) const;
+                     Workspace &ws, bool rescue_empty_rows = false) const;
+
+    /**
+     * The CSR twin of predictInto: builds the compressed kept-set
+     * row by row with the same fused threshold pass (equivalent to
+     * CsrMask::assignFromThreshold over the predicted map, with the
+     * same rescue semantics), never materializing the n^2 map.
+     */
+    void predictCsrInto(CsrMask &csr, const Matrix &q, const Matrix &k,
+                        Workspace &ws,
+                        bool rescue_empty_rows = false) const;
 
     float threshold() const { return threshold_; }
     int bits() const { return bits_; }

@@ -6,9 +6,13 @@
 #include <mutex>
 #include <stdexcept>
 
+#include <vector>
+
 #include "base/logging.h"
 #include "tensor/gemm_epilogue.h"
+#include "tensor/gemm_int8.h"
 #include "tensor/ops.h"
+#include "tensor/quantized_matrix.h"
 #include "tensor/workspace.h"
 
 namespace vitality {
@@ -37,6 +41,15 @@ constexpr size_t kBlock = 64;
 // A panel; the scalar backend is indifferent to the granularity.
 constexpr size_t kBandRows = 6;
 
+// The INT8 microkernel uses 4-row panels, so its bands align to 4.
+constexpr size_t kQuantBandRows = 4;
+
+// Depth cap for the quantized path: |S - za*wsum| <= 2 * k * 127 * 127
+// must stay below 2^31 for the int32 zero-point correction to be
+// exact; 2 * 65536 * 16129 = 2.11e9 < 2^31 is the deepest safe power
+// of two (DeiT tops out at k = 3072).
+constexpr size_t kMaxQuantDepth = 65536;
+
 // The size heuristic: don't fan out unless every band gets at least
 // this many flops (2*m*n*k total), so layer-norm-sized GEMMs and the
 // per-head attention products stay on the calling thread where the
@@ -49,8 +62,9 @@ struct GemmDims
     size_t m, n, k;
 };
 
+template <class MatA, class MatB>
 GemmDims
-checkedDims(const Matrix &a, const Matrix &b, Gemm::Trans trans)
+checkedDims(const MatA &a, const MatB &b, Gemm::Trans trans)
 {
     switch (trans) {
     case Gemm::Trans::None:
@@ -272,6 +286,10 @@ std::atomic<int> g_epilogueMode{-1};
 // -2 = unresolved; otherwise the VITALITY_THREADS cap (0 = uncapped).
 std::atomic<long> g_maxThreads{-2};
 
+// -1 = unresolved; otherwise a Gemm::QuantMode value
+// (VITALITY_QUANT=off|int8, default off).
+std::atomic<int> g_quantMode{-1};
+
 // The injected intra-GEMM runner; guarded because install/uninstall
 // (ThreadPool construction/destruction) may race a reader taking a
 // snapshot. The snapshot keeps the ParallelRunner struct itself alive,
@@ -300,13 +318,15 @@ resolveMaxThreads()
 /**
  * Bands the caller may fan this product across: the runner width under
  * the thread cap and the size heuristic, floored at 1. Band boundaries
- * are aligned to kBandRows so they never split a microkernel panel.
+ * are aligned to bandRows (the backend pair's microkernel panel
+ * height) so they never split a packed panel.
  */
 size_t
 chooseBands(const GemmDims &dims,
-            const std::shared_ptr<const Gemm::ParallelRunner> &runner)
+            const std::shared_ptr<const Gemm::ParallelRunner> &runner,
+            size_t bandRows)
 {
-    if (!runner || dims.m <= kBandRows)
+    if (!runner || dims.m <= bandRows)
         return 1;
     size_t width = runner->width();
     const size_t cap = Gemm::maxThreads();
@@ -317,7 +337,7 @@ chooseBands(const GemmDims &dims,
     const uint64_t flops = 2ull * dims.m * dims.n * dims.k;
     const size_t byWork =
         static_cast<size_t>(std::max<uint64_t>(1, flops / kMinFlopsPerBand));
-    const size_t panels = (dims.m + kBandRows - 1) / kBandRows;
+    const size_t panels = (dims.m + bandRows - 1) / bandRows;
     return std::max<size_t>(1, std::min({width, byWork, panels}));
 }
 
@@ -343,6 +363,29 @@ validateEpilogue(const Matrix &dst, const GemmDims &dims,
                    "[%zu x %zu], got %s",
                    dims.m, dims.n, dst.shapeStr().c_str()));
     }
+}
+
+void
+runBackendInt8(Gemm::Backend backend, Matrix &dst,
+               const QuantizedMatrix &a, const QuantizedMatrix &b,
+               Gemm::Trans trans, size_t i0, size_t i1,
+               const int32_t *wsum, const Gemm::Epilogue &ep)
+{
+    switch (backend) {
+    case Gemm::Backend::Scalar:
+        detail::gemmInt8Scalar(dst, a, b, trans, i0, i1, wsum, ep);
+        return;
+    case Gemm::Backend::Avx2:
+#if VITALITY_HAVE_AVX2
+        detail::gemmInt8Avx2(dst, a, b, trans, i0, i1, wsum, ep);
+        return;
+#else
+        throw std::invalid_argument(
+            "gemm: AVX2 backend not compiled in "
+            "(build with -DVITALITY_ENABLE_AVX2=ON)");
+#endif
+    }
+    throw std::invalid_argument("gemm: unknown backend");
 }
 
 } // namespace
@@ -429,7 +472,7 @@ Gemm::multiply(Matrix &dst, const Matrix &a, const Matrix &b, Trans trans,
     if (dims.m > kBandRows &&
         2ull * dims.m * dims.n * dims.k >= 2 * kMinFlopsPerBand)
         runner = parallelRunner();
-    const size_t bands = runner ? chooseBands(dims, runner) : 1;
+    const size_t bands = runner ? chooseBands(dims, runner, kBandRows) : 1;
     if (bands <= 1) {
         runBackend(backend, dst, a, b, trans, 0, dims.m, ep);
         return;
@@ -446,6 +489,140 @@ Gemm::multiply(Matrix &dst, const Matrix &a, const Matrix &b, Trans trans,
         const size_t i1 = std::min(p1 * kBandRows, dims.m);
         if (i0 < i1)
             runBackend(backend, dst, a, b, trans, i0, i1, ep);
+    });
+}
+
+void
+Gemm::multiply(Matrix &dst, const QuantizedMatrix &a,
+               const QuantizedMatrix &b, Trans trans)
+{
+    multiply(dst, a, b, trans, Epilogue{}, active());
+}
+
+void
+Gemm::multiply(Matrix &dst, const QuantizedMatrix &a,
+               const QuantizedMatrix &b, Trans trans,
+               const Epilogue &epilogue)
+{
+    multiply(dst, a, b, trans, epilogue, active());
+}
+
+void
+Gemm::multiply(Matrix &dst, const QuantizedMatrix &a,
+               const QuantizedMatrix &b, Trans trans,
+               const Epilogue &epilogue, Backend backend)
+{
+    if (!available(backend)) {
+        throw std::invalid_argument(
+            strfmt("gemm: backend %s is not available on this host",
+                   backendName(backend)));
+    }
+    Epilogue ep = epilogue;
+    if (ep.act == Epilogue::Act::Gelu &&
+        epilogueMode() == EpilogueMode::FusedFast)
+        ep.act = Epilogue::Act::GeluFast;
+    // The integer core's saturation-freedom and zero-point algebra
+    // assume A in the [0, 127] activation domain and B symmetric with
+    // zero point 0; a per-row quantized A under Trans::A would hand
+    // column identities per-row parameters.
+    if (a.kind() != QuantizedMatrix::Kind::ActivationU7) {
+        throw std::invalid_argument(
+            "gemm: quantized multiply needs an ActivationU7 first "
+            "operand (see gemm.h, INT8 quantized path)");
+    }
+    if (b.kind() != QuantizedMatrix::Kind::WeightS8) {
+        throw std::invalid_argument(
+            "gemm: quantized multiply needs a WeightS8 second operand "
+            "(see gemm.h, INT8 quantized path)");
+    }
+    if (trans == Trans::A &&
+        a.granularity() == QuantizedMatrix::Granularity::PerRow) {
+        throw std::invalid_argument(
+            "gemm: per-row quantized A cannot be used with Trans::A "
+            "(the transpose reassigns row identities)");
+    }
+    const GemmDims dims = checkedDims(a, b, trans);
+    if (dims.k > kMaxQuantDepth) {
+        throw std::invalid_argument(
+            strfmt("gemm: quantized depth k=%zu exceeds the int32-exact "
+                   "limit %zu",
+                   dims.k, kMaxQuantDepth));
+    }
+    validateEpilogue(dst, dims, ep);
+    if (!ep.accumulate)
+        dst.resize(dims.m, dims.n);
+    if (dims.m == 0 || dims.n == 0)
+        return;
+    if (dims.k == 0) {
+        // The product is all zeros; the epilogue still applies to it.
+        if (ep.trivial()) {
+            dst.fill(0.0f);
+            return;
+        }
+        Workspace::Frame frame(t_scalarArena);
+        const Matrix &zeros = t_scalarArena.acquireZeroed(1, dims.n);
+        for (size_t i = 0; i < dims.m; ++i)
+            epilogueApplyRow(dst.rowPtr(i), zeros.rowPtr(0), dims.n, ep);
+        return;
+    }
+
+    if (!ep.trivial() && epilogueMode() == EpilogueMode::Unfused) {
+        // Same debug/bench fallback as the fp32 path: raw dequantized
+        // product into scratch, then the canonical epilogue pass.
+        // Bitwise-identical to the fused path by construction.
+        Workspace::Frame frame(t_scalarArena);
+        Matrix &product = t_scalarArena.acquire(dims.m, dims.n);
+        multiply(product, a, b, trans, Epilogue{}, backend);
+        for (size_t i = 0; i < dims.m; ++i)
+            epilogueApplyRow(dst.rowPtr(i), product.rowPtr(i), dims.n, ep);
+        return;
+    }
+
+    // Per-column sums of op(B), shared by every band: the zero-point
+    // correction term za_i * wsum_j (gemm.h). Thread-local and read-only
+    // once filled, so the band closures may alias it freely.
+    static thread_local std::vector<int32_t> t_wsum;
+    t_wsum.resize(dims.n);
+    int32_t *wsum = t_wsum.data();
+    if (trans == Trans::B) {
+        // op(B)(kk, j) = b(j, kk): column sums are b's row sums.
+        for (size_t j = 0; j < dims.n; ++j) {
+            const int8_t *brow = b.rowPtr(j);
+            int32_t s = 0;
+            for (size_t kk = 0; kk < dims.k; ++kk)
+                s += brow[kk];
+            wsum[j] = s;
+        }
+    } else {
+        std::fill(wsum, wsum + dims.n, 0);
+        for (size_t kk = 0; kk < dims.k; ++kk) {
+            const int8_t *brow = b.rowPtr(kk);
+            for (size_t j = 0; j < dims.n; ++j)
+                wsum[j] += brow[j];
+        }
+    }
+
+    std::shared_ptr<const ParallelRunner> runner;
+    if (dims.m > kQuantBandRows &&
+        2ull * dims.m * dims.n * dims.k >= 2 * kMinFlopsPerBand)
+        runner = parallelRunner();
+    const size_t bands =
+        runner ? chooseBands(dims, runner, kQuantBandRows) : 1;
+    if (bands <= 1) {
+        runBackendInt8(backend, dst, a, b, trans, 0, dims.m, wsum, ep);
+        return;
+    }
+    // Bands partition the output rows and integer accumulation is
+    // exact, so results are bitwise-identical at any band count.
+    const size_t panels =
+        (dims.m + kQuantBandRows - 1) / kQuantBandRows;
+    runner->run(bands, [&](size_t band) {
+        const size_t p0 = panels * band / bands;
+        const size_t p1 = panels * (band + 1) / bands;
+        const size_t i0 = p0 * kQuantBandRows;
+        const size_t i1 = std::min(p1 * kQuantBandRows, dims.m);
+        if (i0 < i1)
+            runBackendInt8(backend, dst, a, b, trans, i0, i1, wsum, ep);
     });
 }
 
@@ -608,6 +785,59 @@ Gemm::epilogueModeName(EpilogueMode mode)
         return "fast";
     }
     return "unknown";
+}
+
+Gemm::QuantMode
+Gemm::quantMode()
+{
+    int cur = g_quantMode.load(std::memory_order_acquire);
+    if (cur < 0) {
+        int resolved = static_cast<int>(QuantMode::Off);
+        const char *env = std::getenv("VITALITY_QUANT");
+        if (env && *env) {
+            const std::optional<QuantMode> wanted = parseQuantMode(env);
+            if (wanted) {
+                resolved = static_cast<int>(*wanted);
+            } else {
+                warn("VITALITY_QUANT=%s not recognized (want off|int8); "
+                     "using off",
+                     env);
+            }
+        }
+        int expected = -1;
+        g_quantMode.compare_exchange_strong(expected, resolved,
+                                            std::memory_order_acq_rel);
+        cur = g_quantMode.load(std::memory_order_acquire);
+    }
+    return static_cast<QuantMode>(cur);
+}
+
+void
+Gemm::setQuantMode(QuantMode mode)
+{
+    g_quantMode.store(static_cast<int>(mode), std::memory_order_release);
+}
+
+const char *
+Gemm::quantModeName(QuantMode mode)
+{
+    switch (mode) {
+    case QuantMode::Off:
+        return "off";
+    case QuantMode::Int8:
+        return "int8";
+    }
+    return "unknown";
+}
+
+std::optional<Gemm::QuantMode>
+Gemm::parseQuantMode(const std::string &name)
+{
+    if (name == "off")
+        return QuantMode::Off;
+    if (name == "int8")
+        return QuantMode::Int8;
+    return std::nullopt;
 }
 
 } // namespace vitality

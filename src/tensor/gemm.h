@@ -80,6 +80,50 @@
  * agree across backends to 1e-3 max-abs-diff (also asserted). Each
  * backend on its own is fully deterministic.
  *
+ * INT8 quantized path
+ * -------------------
+ * The quantized multiply() overloads compute the same C = op(A)*op(B)
+ * over a QuantizedMatrix activation A (affine, [0, 127] domain) and a
+ * QuantizedMatrix weight B (symmetric, [-127, 127], zero point 0),
+ * dequantizing in the write-back:
+ *
+ *   S(i,j)  = sum_k qa(i,k) * qw(k,j)            (exact int32)
+ *   C(i,j)  = (S(i,j) - za_i * wsum_j) * (sa_i * sw)
+ *
+ * then the standard epilogue chain (bias, GELU, accumulate) in the
+ * canonical order, where za_i/sa_i are A's (per-row or per-tensor)
+ * zero point and scale, sw is B's scale, and wsum_j = sum_k qw(k,j)
+ * is the per-column weight sum that folds A's zero point out of the
+ * integer product. Two backends exist, mirroring the fp32 pair: a
+ * scalar reference (always built) and an AVX2 microkernel
+ * (_mm256_maddubs_epi16 + _mm256_madd_epi16 into int32 accumulators;
+ * the [0,127] x [-127,127] operand ranges make the maddubs pair-sum
+ * provably saturation-free). Because the integer accumulation is
+ * exact in any order and the dequant + epilogue is a shared
+ * lane-exact program, the two int8 backends are BITWISE-identical to
+ * each other — at every shape, transpose mode, epilogue, and band
+ * count (asserted by test_quant) — unlike the fp32 pair, which only
+ * agree within the rounding bound above. Versus the fp32 result the
+ * quantized path differs by the quantization error; per element,
+ *
+ *   |c_int8 - c_fp32| <= sa_i/2 * sum_k |w_hat_kj|
+ *                      + sw/2   * sum_k |a_ik|       (+ fp rounding)
+ *
+ * with w_hat the dequantized weights — the bound test_quant asserts
+ * against a float64 reference. Restrictions: the first operand must
+ * be ActivationU7-kind and the second WeightS8-kind, and a per-row
+ * quantized A cannot be used with Trans::A (the transpose reassigns
+ * row identities); violations throw std::invalid_argument.
+ *
+ * The VITALITY_QUANT environment variable ("off", the default, or
+ * "int8") / setQuantMode() select the model-level execution mode:
+ * VitEncoder routes its dense stages (QKV, attention output
+ * projection, both MLP GEMMs) through this path when the mode is
+ * Int8, quantizing activations per call (per-row) and caching
+ * quantized weights. "off" leaves every fp32 path bitwise-untouched;
+ * the quantized overloads themselves are callable regardless of the
+ * knob.
+ *
  * Intra-GEMM parallelism
  * ----------------------
  * The tensor layer cannot depend on the runtime layer, so parallelism
@@ -116,6 +160,8 @@
 #include "tensor/matrix.h"
 
 namespace vitality {
+
+class QuantizedMatrix;
 
 class Gemm
 {
@@ -263,6 +309,28 @@ class Gemm
                          Trans trans, const Epilogue &epilogue,
                          Backend backend);
 
+    /**
+     * INT8 C = epilogue(dequant(op(A) * op(B))) on the active backend
+     * — see "INT8 quantized path" in the file comment for the exact
+     * arithmetic, the bitwise scalar/AVX2 contract, and the operand
+     * restrictions. a must be ActivationU7-kind, b WeightS8-kind;
+     * epilogue semantics (resize vs accumulate, bias shape/aliasing)
+     * match the fp32 overloads.
+     */
+    static void multiply(Matrix &dst, const QuantizedMatrix &a,
+                         const QuantizedMatrix &b,
+                         Trans trans = Trans::None);
+
+    /** Same, with a fused epilogue (semantics as the fp32 overload). */
+    static void multiply(Matrix &dst, const QuantizedMatrix &a,
+                         const QuantizedMatrix &b, Trans trans,
+                         const Epilogue &epilogue);
+
+    /** Same, on an explicitly chosen backend (throws if unavailable). */
+    static void multiply(Matrix &dst, const QuantizedMatrix &a,
+                         const QuantizedMatrix &b, Trans trans,
+                         const Epilogue &epilogue, Backend backend);
+
     /** The backend multiply() currently dispatches to. */
     static Backend active();
 
@@ -318,6 +386,30 @@ class Gemm
 
     /** "fused", "unfused", or "fast", for bench/trajectory reporting. */
     static const char *epilogueModeName(EpilogueMode mode);
+
+    /**
+     * Model-level quantized execution mode (VITALITY_QUANT, resolved
+     * lazily): Off keeps every dense stage fp32; Int8 makes
+     * VitEncoder route its dense stages through the quantized
+     * multiply() overloads.
+     */
+    enum class QuantMode
+    {
+        Off,  ///< fp32 dense path (the default).
+        Int8, ///< INT8 dense path with fp32 dequant write-back.
+    };
+
+    /** Active quantized mode (VITALITY_QUANT, resolved lazily). */
+    static QuantMode quantMode();
+
+    /** Force the quantized mode (test/bench hook). */
+    static void setQuantMode(QuantMode mode);
+
+    /** "off" or "int8", for bench/trajectory reporting. */
+    static const char *quantModeName(QuantMode mode);
+
+    /** Parse a VITALITY_QUANT value; nullopt on unrecognized text. */
+    static std::optional<QuantMode> parseQuantMode(const std::string &name);
 };
 
 } // namespace vitality

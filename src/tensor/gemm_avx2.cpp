@@ -20,14 +20,22 @@
  *     profile the packing buffers are recycled and the steady state
  *     performs no heap allocations (matching the AttentionContext
  *     design).
- *   - The k dimension is processed in kc = 256 chunks, outermost loop:
- *     one chunk of every packed A panel (a few hundred KB for a full
- *     197-row band) stays L2-resident across the whole column-panel
- *     sweep, where an unbroken k sweep re-streamed megabytes of packed
- *     A per column panel at the DeiT-Base MLP shapes. Partial sums
- *     round-trip through float32 memory between chunks, which is exact,
- *     so per element the accumulation is still one ascending-k sum —
- *     the cross-backend tolerance contract in gemm.h is unchanged.
+ *   - The n dimension is processed in nc = 256 column blocks (16 kNr
+ *     panels), outermost loop, and the k dimension in kc = 256 chunks
+ *     inside each block. Within a block, one kc chunk of every packed
+ *     A panel (a few hundred KB for a full 197-row band) stays
+ *     L2-resident across the block's column-panel sweep, where an
+ *     unbroken k sweep re-streamed megabytes of packed A per column
+ *     panel at the DeiT-Base MLP shapes; and because every kc chunk of
+ *     a block completes before the next block starts, the C partials
+ *     that round-trip between chunks are one mBand x nc tile — at
+ *     n >> cache shapes (the deep-N MLP transposes) the old
+ *     block-free sweep re-streamed the whole mBand x n band per chunk.
+ *     The round-trip through float32 memory is exact, and per element
+ *     the accumulation is still one ascending-k sum regardless of the
+ *     blocking (blocks partition columns; chunks run in ascending
+ *     order within each), so results are bitwise-unchanged and the
+ *     cross-backend tolerance contract in gemm.h holds as before.
  *   - The microkernel holds a 6x16 tile of C in twelve ymm accumulators
  *     (optionally initialized from the previous chunk's partials) and
  *     walks k in ascending order with two FMAs per row per step — the
@@ -54,6 +62,7 @@
 #include <cmath>
 #include <cstring>
 
+#include "tensor/avx2_math.h"
 #include "tensor/gemm.h"
 #include "tensor/gemm_epilogue.h"
 #include "tensor/ops.h"
@@ -68,68 +77,11 @@ namespace {
 constexpr size_t kMr = 6;   ///< Microkernel rows (A panel height).
 constexpr size_t kNr = 16;  ///< Microkernel cols (B panel width, 2 ymm).
 constexpr size_t kKc = 256; ///< k-dimension cache-block depth.
+constexpr size_t kNc = 256; ///< n-dimension column-block width.
 
-// --- vectorized polynomial GELU (Act::GeluFast) -----------------------------
-//
-// Lane-for-lane the same program as the scalar exp2Core /
-// tanhApproxCore / geluApproxScalar in tensor/ops.cpp: identical
-// constants (tensor/transcendental.h), identical operation order, and
-// deliberately plain mul/add — no _mm256_fmadd_ps — because the scalar
-// fallback (baseline ISA, -ffp-contract=off) rounds every product and
-// sum separately, and the fast GELU's bitwise contract is that full
-// tiles (these vectors) and ragged edges (epilogueApplyRow ->
-// geluApproxScalar) produce identical bits. The max/min clamps rely on
-// the documented vmaxps/vminps NaN-takes-the-second-operand semantics,
-// which the scalar selects mirror.
-
-inline __m256
-exp2Core8(__m256 z)
-{
-    __m256 zc = _mm256_max_ps(z, _mm256_set1_ps(-kExp2Clamp));
-    zc = _mm256_min_ps(zc, _mm256_set1_ps(kExp2Clamp));
-    const __m256 magic = _mm256_set1_ps(kRoundMagic);
-    const __m256 nf = _mm256_sub_ps(_mm256_add_ps(zc, magic), magic);
-    const __m256 f = _mm256_sub_ps(zc, nf);
-    __m256 p = _mm256_set1_ps(kExp2C7);
-    p = _mm256_add_ps(_mm256_mul_ps(p, f), _mm256_set1_ps(kExp2C6));
-    p = _mm256_add_ps(_mm256_mul_ps(p, f), _mm256_set1_ps(kExp2C5));
-    p = _mm256_add_ps(_mm256_mul_ps(p, f), _mm256_set1_ps(kExp2C4));
-    p = _mm256_add_ps(_mm256_mul_ps(p, f), _mm256_set1_ps(kExp2C3));
-    p = _mm256_add_ps(_mm256_mul_ps(p, f), _mm256_set1_ps(kExp2C2));
-    p = _mm256_add_ps(_mm256_mul_ps(p, f), _mm256_set1_ps(kExp2C1));
-    p = _mm256_add_ps(_mm256_mul_ps(p, f), _mm256_set1_ps(1.0f));
-    // 2^n by exponent bits; nf is integral, so the rounding cvt is
-    // exact, matching the scalar truncating cast.
-    const __m256i n = _mm256_cvtps_epi32(nf);
-    const __m256i bits =
-        _mm256_slli_epi32(_mm256_add_epi32(n, _mm256_set1_epi32(127)), 23);
-    return _mm256_mul_ps(p, _mm256_castsi256_ps(bits));
-}
-
-inline __m256
-tanhApprox8(__m256 x)
-{
-    __m256 t = _mm256_max_ps(x, _mm256_set1_ps(-kTanhClamp));
-    t = _mm256_min_ps(t, _mm256_set1_ps(kTanhClamp));
-    const __m256 e2x =
-        exp2Core8(_mm256_mul_ps(t, _mm256_set1_ps(kTwoLog2e)));
-    const __m256 one = _mm256_set1_ps(1.0f);
-    return _mm256_div_ps(_mm256_sub_ps(e2x, one),
-                         _mm256_add_ps(e2x, one));
-}
-
-inline __m256
-geluApprox8(__m256 x)
-{
-    const __m256 x3 = _mm256_mul_ps(_mm256_mul_ps(x, x), x);
-    const __m256 inner = _mm256_mul_ps(
-        _mm256_set1_ps(kGeluSqrt2OverPi),
-        _mm256_add_ps(x, _mm256_mul_ps(_mm256_set1_ps(kGeluCubic), x3)));
-    const __m256 one = _mm256_set1_ps(1.0f);
-    return _mm256_mul_ps(
-        _mm256_mul_ps(_mm256_set1_ps(0.5f), x),
-        _mm256_add_ps(one, tanhApprox8(inner)));
-}
+// The vectorized polynomial GELU (Act::GeluFast) and its exp2/tanh
+// cores live in tensor/avx2_math.h, shared with the int8 backend so
+// both write-backs run the identical bitwise program.
 
 } // namespace
 
@@ -479,13 +431,20 @@ gemmAvx2(Matrix &dst, const Matrix &a, const Matrix &b, Gemm::Trans trans,
                    std::min(kMr, rowEnd - i0), k);
     }
 
-    // kc chunks outermost: one chunk of all packed A panels stays
-    // cache-resident across the full column-panel sweep.
-    for (size_t chunk = 0; chunk < chunks; ++chunk) {
+    // nc column blocks outermost, kc chunks inside: all of a block's
+    // chunks finish before the next block starts, so inter-chunk C
+    // partials stay one mBand x kNc tile, and within a chunk one kc
+    // slice of all packed A panels stays cache-resident across the
+    // block's column-panel sweep.
+    constexpr size_t kNcPanels = kNc / kNr;
+    static_assert(kNc % kNr == 0, "column block must be whole panels");
+    for (size_t jcBegin = 0; jcBegin < nPanels; jcBegin += kNcPanels) {
+      const size_t jcEnd = std::min(jcBegin + kNcPanels, nPanels);
+      for (size_t chunk = 0; chunk < chunks; ++chunk) {
         const size_t k0 = chunk * kKc;
         const size_t k1 = std::min(k0 + kKc, k);
         const bool last = chunk + 1 == chunks;
-        for (size_t jp = 0; jp < nPanels; ++jp) {
+        for (size_t jp = jcBegin; jp < jcEnd; ++jp) {
             const size_t j0 = jp * kNr;
             const size_t nEff = std::min(kNr, n - j0);
             packBPanel(pb, b, trans, j0, nEff, k0, k1);
@@ -537,6 +496,7 @@ gemmAvx2(Matrix &dst, const Matrix &a, const Matrix &b, Gemm::Trans trans,
                 }
             }
         }
+      }
     }
 }
 

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Scalar INT8 GEMM backend: the always-built reference the AVX2
+ * microkernel must match bitwise (see gemm_int8.h). Plain int32
+ * accumulation loops — correctness and portability over speed; the
+ * loops still auto-vectorize under baseline SSE2.
+ */
+
+#include "tensor/gemm_int8.h"
+
+#include <vector>
+
+#include "tensor/quantized_matrix.h"
+
+namespace vitality {
+namespace detail {
+
+namespace {
+
+/** Row i of op(A) under the given transpose mode, element kk. */
+inline int32_t
+opAElem(const QuantizedMatrix &a, Gemm::Trans trans, size_t i, size_t kk)
+{
+    return trans == Gemm::Trans::A ? a.rowPtr(kk)[i] : a.rowPtr(i)[kk];
+}
+
+} // namespace
+
+void
+gemmInt8Scalar(Matrix &dst, const QuantizedMatrix &a,
+               const QuantizedMatrix &b, Gemm::Trans trans,
+               size_t rowBegin, size_t rowEnd, const int32_t *wsum,
+               const Gemm::Epilogue &ep)
+{
+    const size_t n = dst.cols();
+    const size_t k =
+        trans == Gemm::Trans::A ? a.rows() : a.cols();
+    const float bscale = b.scale(0);
+    const float *bias = ep.bias ? ep.bias->rowPtr(0) : nullptr;
+
+    static thread_local std::vector<int32_t> t_acc;
+    t_acc.resize(n);
+    int32_t *acc = t_acc.data();
+
+    for (size_t i = rowBegin; i < rowEnd; ++i) {
+        for (size_t j = 0; j < n; ++j)
+            acc[j] = 0;
+        if (trans == Gemm::Trans::B) {
+            const int8_t *arow = a.rowPtr(i);
+            for (size_t j = 0; j < n; ++j) {
+                const int8_t *brow = b.rowPtr(j);
+                int32_t s = 0;
+                for (size_t kk = 0; kk < k; ++kk)
+                    s += static_cast<int32_t>(arow[kk]) *
+                         static_cast<int32_t>(brow[kk]);
+                acc[j] = s;
+            }
+        } else if (trans == Gemm::Trans::A) {
+            for (size_t kk = 0; kk < k; ++kk) {
+                const int32_t av = opAElem(a, trans, i, kk);
+                const int8_t *brow = b.rowPtr(kk);
+                for (size_t j = 0; j < n; ++j)
+                    acc[j] += av * static_cast<int32_t>(brow[j]);
+            }
+        } else {
+            const int8_t *arow = a.rowPtr(i);
+            for (size_t kk = 0; kk < k; ++kk) {
+                const int32_t av = arow[kk];
+                const int8_t *brow = b.rowPtr(kk);
+                for (size_t j = 0; j < n; ++j)
+                    acc[j] += av * static_cast<int32_t>(brow[j]);
+            }
+        }
+        const float cs = a.scale(i) * bscale;
+        dequantEpilogueRow(dst.rowPtr(i), acc, wsum, a.zeroPoint(i), cs,
+                           bias, n, ep.accumulate, ep.act);
+    }
+}
+
+} // namespace detail
+} // namespace vitality

@@ -1,0 +1,155 @@
+#include "tensor/quantized_matrix.h"
+
+#include <algorithm>
+
+#include "tensor/gemm.h"
+#include "tensor/gemm_int8.h"
+#include "tensor/ops.h"
+#include "tensor/transcendental.h"
+
+namespace vitality {
+
+void
+QuantizedMatrix::reshape(size_t rows, size_t cols, Kind kind,
+                         Granularity granularity)
+{
+    rows_ = rows;
+    cols_ = cols;
+    kind_ = kind;
+    granularity_ = granularity;
+    data_.resize(rows * cols);
+}
+
+void
+QuantizedMatrix::assignWeights(const Matrix &m)
+{
+    reshape(m.rows(), m.cols(), Kind::WeightS8, Granularity::PerTensor);
+    scale_.assign(1, 1.0f);
+    zero_.assign(1, 0);
+    if (empty())
+        return;
+    const float max_mag = maxAbs(m);
+    if (max_mag == 0.0f) {
+        std::fill(data_.begin(), data_.end(), int8_t{0});
+        return;
+    }
+    scale_[0] = max_mag / 127.0f;
+    // Multiply by the reciprocal-style 127 / max rather than divide by
+    // the rounded step: both are one float rounding, this one keeps the
+    // extremes at exactly +/-127 before the clamp.
+    const float inv = 127.0f / max_mag;
+    const float *src = m.data();
+    int8_t *dst = data_.data();
+    const size_t count = size();
+    for (size_t i = 0; i < count; ++i) {
+        float q = (src[i] * inv + detail::kRoundMagic) - detail::kRoundMagic;
+        q = std::min(127.0f, std::max(-127.0f, q));
+        dst[i] = static_cast<int8_t>(q);
+    }
+}
+
+void
+QuantizedMatrix::assignActivations(const Matrix &m, Granularity granularity)
+{
+    reshape(m.rows(), m.cols(), Kind::ActivationU7, granularity);
+    const size_t groups =
+        granularity == Granularity::PerRow ? rows_ : size_t{1};
+    scale_.assign(std::max<size_t>(groups, 1), 1.0f);
+    zero_.assign(std::max<size_t>(groups, 1), 0);
+    if (empty())
+        return;
+    const size_t span =
+        granularity == Granularity::PerRow ? cols_ : size();
+#if VITALITY_HAVE_AVX2
+    // Ride the Gemm dispatcher's CPUID-checked backend choice, like
+    // the approx softmax in tensor/ops.cpp: the 8-lane group kernel
+    // runs the same range-scan + round/clamp/cast program lane for
+    // lane, so the quantized codes, scales, and zero points cannot
+    // depend on the backend. Activations are re-quantized on every
+    // forward pass, which is why this sweep is worth vectorizing
+    // while the one-time weight quantization is not.
+    if (Gemm::active() == Gemm::Backend::Avx2) {
+        for (size_t g = 0; g < groups; ++g)
+            detail::quantizeActivationSpanAvx2(
+                data_.data() + g * span, m.data() + g * span, span,
+                scale_[g], zero_[g]);
+        return;
+    }
+#endif
+    for (size_t g = 0; g < groups; ++g) {
+        const float *src = m.data() + g * span;
+        int8_t *dst = data_.data() + g * span;
+        // Nudge the range to include zero so it stays exactly
+        // representable; with lo <= 0 <= hi the only degenerate group
+        // (hi == lo) is the all-zero one.
+        float lo = 0.0f, hi = 0.0f;
+        for (size_t i = 0; i < span; ++i) {
+            lo = std::min(lo, src[i]);
+            hi = std::max(hi, src[i]);
+        }
+        if (hi == lo) {
+            std::fill(dst, dst + span, int8_t{0});
+            continue;
+        }
+        const float step = (hi - lo) / 127.0f;
+        const float inv = 1.0f / step;
+        float zpf =
+            (-lo * inv + detail::kRoundMagic) - detail::kRoundMagic;
+        zpf = std::min(127.0f, std::max(0.0f, zpf));
+        scale_[g] = step;
+        zero_[g] = static_cast<int32_t>(zpf);
+        for (size_t i = 0; i < span; ++i) {
+            float q = (src[i] * inv + zpf + detail::kRoundMagic) -
+                      detail::kRoundMagic;
+            q = std::min(127.0f, std::max(0.0f, q));
+            dst[i] = static_cast<int8_t>(q);
+        }
+    }
+}
+
+QuantizedMatrix
+QuantizedMatrix::weights(const Matrix &m)
+{
+    QuantizedMatrix q;
+    q.assignWeights(m);
+    return q;
+}
+
+QuantizedMatrix
+QuantizedMatrix::activations(const Matrix &m, Granularity granularity)
+{
+    QuantizedMatrix q;
+    q.assignActivations(m, granularity);
+    return q;
+}
+
+void
+QuantizedMatrix::dequantizeInto(Matrix &dst) const
+{
+    dst.resize(rows_, cols_);
+    for (size_t r = 0; r < rows_; ++r) {
+        const float s = scale(r);
+        const float zp = static_cast<float>(zeroPoint(r));
+        const int8_t *src = rowPtr(r);
+        float *out = dst.rowPtr(r);
+        for (size_t c = 0; c < cols_; ++c)
+            out[c] = (static_cast<float>(src[c]) - zp) * s;
+    }
+}
+
+Matrix
+QuantizedMatrix::dequantize() const
+{
+    Matrix m;
+    dequantizeInto(m);
+    return m;
+}
+
+std::string
+QuantizedMatrix::shapeStr() const
+{
+    return "[" + std::to_string(rows_) + " x " + std::to_string(cols_) +
+           "]";
+}
+
+} // namespace vitality

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Affine-quantized int8 tensor for the INT8 dense execution mode.
+ *
+ * QuantizedMatrix is the int8 sibling of Matrix: a row-major int8_t
+ * payload plus the affine parameters (scale, zero point) that map it
+ * back to float, x_hat = (q - zeroPoint) * scale. Two kinds exist,
+ * matching how the quantized GEMM consumes its operands:
+ *
+ *  - WeightS8: symmetric per-tensor quantization to [-127, 127] with
+ *    zero point 0 (scale = maxAbs / 127). Weights are quantized once
+ *    and cached for the life of the model, so the whole-tensor range
+ *    scan is off the hot path.
+ *  - ActivationU7: affine quantization to the unsigned [0, 127] range
+ *    (scale = (hi - lo) / 127 over a range nudged to include zero,
+ *    zero point = round(-lo / scale)), per tensor or per row. The
+ *    7-bit domain is deliberate: with activations in [0, 127] and
+ *    weights in [-127, 127], every adjacent int8 product pair sums to
+ *    at most 2 * 127 * 127 = 32258 < 32767, so the AVX2 kernel's
+ *    _mm256_maddubs_epi16 stage can never saturate and the integer
+ *    accumulation is exact (see gemm.h, "INT8 quantized path").
+ *
+ * Both quantizers round to nearest-even through the same branch-free
+ * kRoundMagic add/subtract core the sparse predictor and the AVX2
+ * GEMM epilogue share (tensor/transcendental.h), so quantization is
+ * backend-independent and auto-vectorizes under baseline SSE2.
+ * Round-trip error per element is bounded by scale/2 (nearest
+ * rounding), the term the int8 GEMM error bound is built from.
+ *
+ * assign* recycle their storage exactly like Matrix::resize, so
+ * per-call activation quantization is allocation-free in steady state.
+ */
+
+#ifndef VITALITY_TENSOR_QUANTIZED_MATRIX_H
+#define VITALITY_TENSOR_QUANTIZED_MATRIX_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/matrix.h"
+
+namespace vitality {
+
+/** A dense rows x cols int8 matrix with affine dequantization params. */
+class QuantizedMatrix
+{
+  public:
+    enum class Kind : unsigned char
+    {
+        /** Symmetric per-tensor weights in [-127, 127], zero point 0. */
+        WeightS8,
+        /** Affine activations in [0, 127] (7-bit unsigned domain). */
+        ActivationU7,
+    };
+
+    /** Scale/zero-point granularity: one pair, or one pair per row. */
+    enum class Granularity : unsigned char
+    {
+        PerTensor,
+        PerRow,
+    };
+
+    /** An empty 0 x 0 weight matrix. */
+    QuantizedMatrix() = default;
+
+    /**
+     * Quantize m as symmetric per-tensor int8 weights: scale =
+     * maxAbs(m) / 127 (1 when m is all-zero), zero point 0, values
+     * round-to-nearest-even then clamped to [-127, 127].
+     */
+    void assignWeights(const Matrix &m);
+
+    /**
+     * Quantize m as affine activations into [0, 127]: per group (the
+     * whole tensor, or each row), lo = min(0, min m) and
+     * hi = max(0, max m) — zero is always exactly representable, so
+     * padded/ReLU-style entries survive the round trip — then
+     * scale = (hi - lo) / 127, zero point = round(-lo / scale), and
+     * q = round(x / scale + zeroPoint) clamped to [0, 127]. Because
+     * the range is nudged around zero, the only degenerate group
+     * (hi == lo) is the all-zero one, which quantizes to zeros with
+     * scale 1 and zero point 0.
+     */
+    void assignActivations(const Matrix &m,
+                           Granularity granularity = Granularity::PerRow);
+
+    /** @name Factories wrapping the assign* forms */
+    /// @{
+    static QuantizedMatrix weights(const Matrix &m);
+    static QuantizedMatrix
+    activations(const Matrix &m,
+                Granularity granularity = Granularity::PerRow);
+    /// @}
+
+    /** Reconstruct x_hat = (q - zeroPoint) * scale into dst. */
+    void dequantizeInto(Matrix &dst) const;
+    Matrix dequantize() const;
+
+    size_t rows() const { return rows_; }
+    size_t cols() const { return cols_; }
+    size_t size() const { return rows_ * cols_; }
+    bool empty() const { return size() == 0; }
+    Kind kind() const { return kind_; }
+    Granularity granularity() const { return granularity_; }
+
+    /** Raw row-major int8 storage. */
+    const int8_t *data() const { return data_.data(); }
+    int8_t *data() { return data_.data(); }
+
+    /** Pointer to the start of row r. */
+    const int8_t *rowPtr(size_t r) const
+    {
+        return data_.data() + r * cols_;
+    }
+
+    /** Scale of row r (the tensor-wide scale under PerTensor). */
+    float scale(size_t r) const
+    {
+        return scale_[granularity_ == Granularity::PerRow ? r : 0];
+    }
+
+    /** Zero point of row r (0 for weights by construction). */
+    int32_t zeroPoint(size_t r) const
+    {
+        return zero_[granularity_ == Granularity::PerRow ? r : 0];
+    }
+
+    /** Human-readable shape, e.g. "[197 x 384]". */
+    std::string shapeStr() const;
+
+  private:
+    void reshape(size_t rows, size_t cols, Kind kind,
+                 Granularity granularity);
+
+    size_t rows_ = 0;
+    size_t cols_ = 0;
+    Kind kind_ = Kind::WeightS8;
+    Granularity granularity_ = Granularity::PerTensor;
+    std::vector<int8_t> data_;
+    std::vector<float> scale_;
+    std::vector<int32_t> zero_;
+};
+
+} // namespace vitality
+
+#endif // VITALITY_TENSOR_QUANTIZED_MATRIX_H

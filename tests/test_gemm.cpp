@@ -302,6 +302,49 @@ testDeepKCacheBlocking()
 }
 
 /**
+ * Shapes with n far past the 256-column block width (and ragged block
+ * edges) exercise the AVX2 backend's nc-blocking the way deep-k shapes
+ * exercise its kc chunking; the blocking must be invisible in the
+ * results. The n > 256 x k > 256 shape runs both blockings at once.
+ */
+void
+testDeepNCacheBlocking()
+{
+    struct Shape
+    {
+        size_t m, n, k;
+    };
+    const std::vector<Shape> shapes = {
+        {7, 3072, 64}, {19, 517, 33}, {6, 256, 16}, {17, 300, 8},
+        {13, 516, 517}};
+    const std::vector<Gemm::Trans> modes = {
+        Gemm::Trans::None, Gemm::Trans::A, Gemm::Trans::B};
+
+    Rng rng(0x6e56);
+    Matrix a, b, c;
+    for (const Shape &s : shapes) {
+        for (Gemm::Trans trans : modes) {
+            makeOperands(a, b, trans, s.m, s.n, s.k, rng);
+            for (Gemm::Backend backend :
+                 {Gemm::Backend::Scalar, Gemm::Backend::Avx2}) {
+                if (backend == Gemm::Backend::Avx2 && !avx2Here())
+                    continue;
+                Gemm::multiply(c, a, b, trans, backend);
+                const size_t bad =
+                    checkAgainstRef(c, a, b, trans, s.m, s.n, s.k);
+                if (bad != 0) {
+                    std::printf("  %s %s m=%zu n=%zu k=%zu: %zu elems "
+                                "out of tolerance\n",
+                                Gemm::backendName(backend),
+                                transName(trans), s.m, s.n, s.k, bad);
+                    T_CHECK(bad == 0);
+                }
+            }
+        }
+    }
+}
+
+/**
  * Apply ep to a finished plain product the way the separate op passes
  * would: bias pass, activation pass, residual add. The fused write-back
  * documents exactly this element order, so fused results must match
@@ -578,6 +621,7 @@ main()
     testAliasingAndShapeRules();
     testZeroDimsAndRecycling();
     testDeepKCacheBlocking();
+    testDeepNCacheBlocking();
     testFusedEpilogueParity();
     testFastGeluEpilogue();
     testEpilogueValidation();

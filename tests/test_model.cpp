@@ -247,10 +247,13 @@ testEncoderMatchesUnfusedReference()
     ThreadPool pool(2);
 
     // The bitwise contract below is between the fused write-back and
-    // the exact-GELU op sequence; the fast mode swaps the GELU by
-    // design, so pin the mode for the duration of this test.
+    // the exact-GELU op sequence; the fast mode swaps the GELU and
+    // the int8 mode swaps the whole dense arithmetic by design, so
+    // pin both modes for the duration of this test.
     const Gemm::EpilogueMode modeBefore = Gemm::epilogueMode();
     Gemm::setEpilogueMode(Gemm::EpilogueMode::Fused);
+    const Gemm::QuantMode quantBefore = Gemm::quantMode();
+    Gemm::setQuantMode(Gemm::QuantMode::Off);
 
     VitEncoder encoder(cfg, makeAttention(AttentionType::Taylor), 0xabc);
     const Matrix y = encoder.forward(x, pool);
@@ -272,6 +275,7 @@ testEncoderMatchesUnfusedReference()
         add(xr, broadcastAddRow(matmul(hidden, w.w2), w.b2));
     T_CHECK(y == ref);
     Gemm::setEpilogueMode(modeBefore);
+    Gemm::setQuantMode(quantBefore);
 }
 
 void
