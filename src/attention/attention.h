@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "base/check.h"
 #include "sparse/csr.h"
 #include "sparse/mask.h"
 #include "tensor/matrix.h"
@@ -178,6 +179,38 @@ class AttentionKernel
 };
 
 using AttentionKernelPtr = std::shared_ptr<AttentionKernel>;
+
+namespace detail {
+
+/**
+ * Checked-build entry contract shared by every built-in forwardInto
+ * override: finite Q/K/V (a NaN would ride silently through every
+ * downstream GEMM) and out distinct from the inputs (each kernel
+ * resizes out before its last read of them). Compiles to nothing
+ * without -DVITALITY_CHECKED=ON.
+ */
+inline void
+checkForwardInputs(const AttentionContext &ctx, const Matrix &q,
+                   const Matrix &k, const Matrix &v, const Matrix &out,
+                   const char *kernel)
+{
+    VITALITY_CHECK(&out != &q && &out != &k && &out != &v,
+                   "%s: out aliases an input", kernel);
+    VITALITY_DCHECK(check::allFinite(q.data(), q.size()),
+                    "%s: non-finite Q", kernel);
+    VITALITY_DCHECK(check::allFinite(k.data(), k.size()),
+                    "%s: non-finite K", kernel);
+    VITALITY_DCHECK(check::allFinite(v.data(), v.size()),
+                    "%s: non-finite V", kernel);
+    (void)ctx;
+    (void)q;
+    (void)k;
+    (void)v;
+    (void)out;
+    (void)kernel;
+}
+
+} // namespace detail
 
 } // namespace vitality
 

@@ -138,6 +138,7 @@ PerformerAttention::forwardInto(AttentionContext &ctx, const Matrix &q,
 {
     if (q.cols() != k.cols() || k.rows() != v.rows())
         throw std::invalid_argument("performer: shape mismatch");
+    detail::checkForwardInputs(ctx, q, k, v, out, "performer");
 
     const size_t d = q.cols();
     const size_t m = featuresFor(d);
@@ -197,6 +198,7 @@ LinearTransformerAttention::forwardInto(AttentionContext &ctx,
 {
     if (q.cols() != k.cols() || k.rows() != v.rows())
         throw std::invalid_argument("linear transformer: shape mismatch");
+    detail::checkForwardInputs(ctx, q, k, v, out, "linear transformer");
 
     auto elu1 = [](float x) {
         return x > 0.0f ? x + 1.0f : std::exp(x);
@@ -248,6 +250,7 @@ EfficientAttention::forwardInto(AttentionContext &ctx, const Matrix &q,
 {
     if (q.cols() != k.cols() || k.rows() != v.rows())
         throw std::invalid_argument("efficient attention: shape mismatch");
+    detail::checkForwardInputs(ctx, q, k, v, out, "efficient attention");
 
     Workspace &ws = ctx.workspace();
     Workspace::Frame frame(ws);
@@ -325,6 +328,7 @@ LinformerAttention::forwardInto(AttentionContext &ctx, const Matrix &q,
 {
     if (q.cols() != k.cols() || k.rows() != v.rows())
         throw std::invalid_argument("linformer: shape mismatch");
+    detail::checkForwardInputs(ctx, q, k, v, out, "linformer");
 
     const auto &[e, f] = projections(k.rows());
     Workspace &ws = ctx.workspace();

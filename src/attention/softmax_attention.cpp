@@ -59,6 +59,7 @@ SoftmaxAttention::forwardInto(AttentionContext &ctx, const Matrix &q,
 {
     if (k.rows() != v.rows())
         throw std::invalid_argument("forward: K/V token mismatch");
+    detail::checkForwardInputs(ctx, q, k, v, out, "softmax");
     Workspace &ws = ctx.workspace();
     Workspace::Frame frame(ws);
     Matrix &s = ws.acquire(q.rows(), k.rows());

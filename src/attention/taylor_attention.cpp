@@ -103,6 +103,7 @@ TaylorAttention::forwardInto(AttentionContext &ctx, const Matrix &q,
         throw std::invalid_argument("taylor: Q/K dim mismatch");
     if (k.rows() != v.rows())
         throw std::invalid_argument("taylor: K/V token mismatch");
+    detail::checkForwardInputs(ctx, q, k, v, out, "taylor");
 
     const size_t n = q.rows();
     const size_t d = q.cols();

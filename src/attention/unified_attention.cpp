@@ -56,6 +56,7 @@ SangerSparseAttention::forwardInto(AttentionContext &ctx, const Matrix &q,
 {
     if (q.cols() != k.cols() || k.rows() != v.rows())
         throw std::invalid_argument("sanger sparse: shape mismatch");
+    detail::checkForwardInputs(ctx, q, k, v, out, "sanger sparse");
 
     Workspace &ws = ctx.workspace();
     Workspace::Frame frame(ws);
@@ -181,6 +182,7 @@ UnifiedAttention::forwardInto(AttentionContext &ctx, const Matrix &q,
 {
     if (q.cols() != k.cols() || k.rows() != v.rows())
         throw std::invalid_argument("unified: shape mismatch");
+    detail::checkForwardInputs(ctx, q, k, v, out, "unified");
 
     Workspace &ws = ctx.workspace();
     Workspace::Frame frame(ws);

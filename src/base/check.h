@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Contract macros for checked builds (-DVITALITY_CHECKED=ON).
+ *
+ * VITALITY_ASSERT (base/logging.h) guards invariants cheap enough to
+ * keep in release builds. The macros here carry the *expensive* or
+ * *hot-path* contracts — finite-input scans, CSR structure walks, 32B
+ * alignment of workspace slots, aliasing of GEMM operands — that would
+ * tax the steady-state paths the benches measure. They compile to
+ * nothing unless the build defines VITALITY_CHECKED (the CMake option
+ * of the same name), in which case a violation panics exactly like
+ * VITALITY_ASSERT: the condition names a library bug, not a user
+ * error, so aborting with the failed expression beats limping on with
+ * corrupt state.
+ *
+ *   - VITALITY_CHECK:  O(1)-ish preconditions (shape already validated
+ *     upstream, aliasing, pointer alignment, counters).
+ *   - VITALITY_DCHECK: O(n) data scans (every input element finite,
+ *     CSR row pointers monotone). Same activation today; the two names
+ *     keep the cost class visible at the call site so a future build
+ *     can split them.
+ *
+ * The helpers below are raw-pointer based on purpose: base/ sits under
+ * tensor/ in the include-layer order (scripts/lint_invariants.py
+ * enforces it), so this header cannot know about Matrix. Call sites
+ * pass data()/size().
+ *
+ * In unchecked builds the condition is NOT evaluated — never put side
+ * effects in a check.
+ */
+
+#ifndef VITALITY_BASE_CHECK_H
+#define VITALITY_BASE_CHECK_H
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+
+#include "base/logging.h"
+
+#if VITALITY_CHECKED
+
+#define VITALITY_CHECK(cond, ...)                                           \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::vitality::panic("contract '%s' violated at %s:%d: %s", #cond, \
+                              __FILE__, __LINE__,                           \
+                              ::vitality::strfmt(__VA_ARGS__).c_str());     \
+        }                                                                   \
+    } while (0)
+
+#define VITALITY_DCHECK(cond, ...) VITALITY_CHECK(cond, __VA_ARGS__)
+
+#else
+
+#define VITALITY_CHECK(cond, ...) ((void)0)
+#define VITALITY_DCHECK(cond, ...) ((void)0)
+
+#endif // VITALITY_CHECKED
+
+namespace vitality {
+
+/** True when contract macros are compiled in (for tests/logs). */
+constexpr bool
+checkedBuild()
+{
+#if VITALITY_CHECKED
+    return true;
+#else
+    return false;
+#endif
+}
+
+namespace check {
+
+/** Every element finite (no NaN/Inf). O(n) — pair with VITALITY_DCHECK. */
+inline bool
+allFinite(const float *data, size_t n)
+{
+    for (size_t i = 0; i < n; ++i) {
+        if (!std::isfinite(data[i]))
+            return false;
+    }
+    return true;
+}
+
+/** Pointer aligned to `alignment` bytes (power of two). */
+inline bool
+isAligned(const void *p, size_t alignment)
+{
+    return (reinterpret_cast<uintptr_t>(p) & (alignment - 1)) == 0;
+}
+
+/** Half-open ranges [a, a+an) and [b, b+bn) do not overlap. */
+inline bool
+noAlias(const float *a, size_t an, const float *b, size_t bn)
+{
+    // Comparing unrelated pointers is unspecified via <; uintptr_t
+    // ordering is the conventional portable-enough answer for overlap
+    // diagnostics.
+    const uintptr_t alo = reinterpret_cast<uintptr_t>(a);
+    const uintptr_t blo = reinterpret_cast<uintptr_t>(b);
+    const uintptr_t ahi = alo + an * sizeof(float);
+    const uintptr_t bhi = blo + bn * sizeof(float);
+    return ahi <= blo || bhi <= alo;
+}
+
+} // namespace check
+} // namespace vitality
+
+#endif // VITALITY_BASE_CHECK_H

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "base/check.h"
 #include "base/logging.h"
 #include "base/rng.h"
 #include "runtime/call_guard.h"
@@ -154,6 +155,8 @@ VitEncoder::forwardInto(const Matrix &x_in, ThreadPool &pool, Matrix &out)
             strfmt("VitEncoder: input %s, expected [%zu x %zu]",
                    x_in.shapeStr().c_str(), cfg_.tokens, cfg_.dModel));
     }
+    VITALITY_DCHECK(check::allFinite(x_in.data(), x_in.size()),
+                    "VitEncoder: non-finite input");
 
     const size_t n = cfg_.tokens;
     const size_t d = cfg_.dModel;
@@ -205,6 +208,11 @@ VitEncoder::forwardBatchInto(const Batch &x_in, ThreadPool &pool,
             strfmt("VitEncoder: batch %s, expected [B x %zu x %zu]",
                    x_in.shapeStr().c_str(), cfg_.tokens, cfg_.dModel));
     }
+#if VITALITY_CHECKED
+    for (size_t b = 0; b < x_in.size(); ++b)
+        VITALITY_DCHECK(check::allFinite(x_in[b].data(), x_in[b].size()),
+                        "VitEncoder: non-finite input image %zu", b);
+#endif
 
     const size_t batch = x_in.size();
     const size_t n = cfg_.tokens;

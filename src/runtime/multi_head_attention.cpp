@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "base/check.h"
 #include "base/logging.h"
 
 namespace vitality {
@@ -132,6 +133,10 @@ MultiHeadAttention::forwardInto(ThreadPool &pool, const Matrix &q,
 {
     CallGuard guard(inFlight_, kConcurrentCall);
     checkShapes(q, k, v);
+    // out is resized before the heads read q/k/v, so aliasing an input
+    // would corrupt it mid-flight.
+    VITALITY_CHECK(&out != &q && &out != &k && &out != &v,
+                   "multi-head: out aliases an input");
     ensureContexts(pool.size());
 
     out.resize(q.rows(), q.cols());
@@ -164,6 +169,8 @@ MultiHeadAttention::forwardBatchInto(ThreadPool &pool, const Batch &q,
 {
     CallGuard guard(inFlight_, kConcurrentCall);
     checkBatchShapes(q, k, v);
+    VITALITY_CHECK(&out != &q && &out != &k && &out != &v,
+                   "multi-head: out aliases an input batch");
     ensureContexts(pool.size());
 
     out.resize(q.size(), q.rows(), q.cols());
@@ -202,6 +209,8 @@ MultiHeadAttention::forwardSequentialInto(const Matrix &q, const Matrix &k,
 {
     CallGuard guard(inFlight_, kConcurrentCall);
     checkShapes(q, k, v);
+    VITALITY_CHECK(&out != &q && &out != &k && &out != &v,
+                   "multi-head: out aliases an input");
     out.resize(q.rows(), q.cols());
     for (size_t head = 0; head < heads_; ++head)
         runHead(seqContext_, head, q, k, v, out);
@@ -223,6 +232,8 @@ MultiHeadAttention::forwardBatchSequentialInto(const Batch &q,
 {
     CallGuard guard(inFlight_, kConcurrentCall);
     checkBatchShapes(q, k, v);
+    VITALITY_CHECK(&out != &q && &out != &k && &out != &v,
+                   "multi-head: out aliases an input batch");
     out.resize(q.size(), q.rows(), q.cols());
     for (size_t image = 0; image < q.size(); ++image) {
         for (size_t head = 0; head < heads_; ++head)

@@ -5,6 +5,8 @@
 #include <exception>
 #include <memory>
 
+#include "base/check.h"
+
 namespace vitality {
 
 namespace {
@@ -49,13 +51,35 @@ ThreadPool::ThreadPool(size_t num_threads)
     // from a worker thread keeps nested GEMMs sequential (image-level
     // parallelism wins in the batched path); Gemm additionally applies
     // the VITALITY_THREADS cap and its size heuristic.
+    //
+    // The closures capture `state`, never `this`: a multiply can hold a
+    // snapshot of this runner past the pool's destruction (see
+    // RunnerState in the header), so everything they touch must stay
+    // valid until the last snapshot drops.
+    runnerState_ = std::make_shared<RunnerState>();
+    runnerState_->pool = this;
+    runnerState_->width = workers_.size();
+
     auto runner = std::make_shared<Gemm::ParallelRunner>();
-    runner->width = [this]() -> size_t {
-        return onWorkerThread() ? 1 : workers_.size();
+    runner->width = [state = runnerState_]() -> size_t {
+        // width is advisory (a band count, not an execution promise),
+        // so the immutable worker count serves without taking the
+        // gate: if the pool dies between here and run(), run() simply
+        // executes that many bands sequentially.
+        return onWorkerThread() ? 1 : state->width;
     };
-    runner->run = [this](size_t tasks,
-                         const std::function<void(size_t)> &fn) {
-        parallelFor(0, tasks, [&fn](size_t i, size_t) { fn(i); });
+    runner->run = [state = runnerState_](
+                      size_t tasks, const std::function<void(size_t)> &fn) {
+        std::shared_lock<std::shared_mutex> gate(state->gate);
+        if (state->pool != nullptr) {
+            state->pool->parallelFor(0, tasks,
+                                     [&fn](size_t i, size_t) { fn(i); });
+        } else {
+            // The pool died after this runner was snapshotted: degrade
+            // to sequential execution rather than fail the multiply.
+            for (size_t i = 0; i < tasks; ++i)
+                fn(i);
+        }
     };
     gemmRunner_ = std::move(runner);
     {
@@ -81,6 +105,21 @@ ThreadPool::~ThreadPool()
                                     : g_livePools.back()->gemmRunner_);
         }
     }
+    // Wait out multiplies that snapshotted our runner before the
+    // un-install above: run() holds the gate shared for the duration of
+    // its fan-out, so taking it exclusively blocks until they drain.
+    // Nulling `pool` sends any *later* snapshot-holder down run()'s
+    // sequential branch instead of into a joined pool.
+    {
+        std::unique_lock<std::shared_mutex> gate(runnerState_->gate);
+        runnerState_->pool = nullptr;
+    }
+    // Runner-driven loops have drained above, so a nonzero count here
+    // is a genuine caller bug: another thread is still inside a direct
+    // parallelFor() on this pool while we tear it down.
+    VITALITY_CHECK(inFlightLoops_.load() == 0,
+                   "~ThreadPool while %zu parallelFor call(s) in flight",
+                   inFlightLoops_.load());
     {
         std::lock_guard<std::mutex> lock(mutex_);
         stopping_ = true;
@@ -125,11 +164,26 @@ ThreadPool::workerLoop(size_t worker)
 }
 
 void
-ThreadPool::parallelFor(size_t begin, size_t end,
-                        const std::function<void(size_t, size_t)> &body)
+ThreadPool::parallelForImpl(size_t begin, size_t end,
+                            const std::function<void(size_t, size_t)> &body)
 {
-    if (begin >= end)
-        return;
+    VITALITY_CHECK(!onWorkerThread(),
+                   "parallelFor from a pool worker would deadlock");
+
+    // Belt-and-braces for release builds: if the pool is already
+    // tearing down (a caller bug the checked build asserts on in the
+    // destructor), run the loop inline rather than enqueue tasks no
+    // worker may ever pop.
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (stopping_) {
+            for (size_t i = begin; i < end; ++i)
+                body(i, 0);
+            return;
+        }
+    }
+
+    inFlightLoops_.fetch_add(1);
 
     // Shared loop state: a counter hands indices to whichever driver task
     // is free, and the last driver to finish wakes the caller.
@@ -174,6 +228,7 @@ ThreadPool::parallelFor(size_t begin, size_t end,
     std::unique_lock<std::mutex> lock(state->mutex);
     state->done.wait(lock,
                      [&] { return state->pendingDrivers.load() == 0; });
+    inFlightLoops_.fetch_sub(1);
     if (state->error)
         std::rethrow_exception(state->error);
 }

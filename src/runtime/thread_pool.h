@@ -18,10 +18,17 @@
  * width 1 from inside a pool task (any pool's), which is the heuristic
  * that keeps the batched path on image-level parallelism: a GEMM inside
  * a per-image task runs sequentially instead of oversubscribing the
- * pool or deadlocking on nested parallelFor. A destructing pool hands
- * the runner role to the newest remaining live pool (or un-installs it
- * when none is left) before joining its workers; destroy a pool only
- * after its in-flight multiplies have drained.
+ * pool or deadlocking on nested parallelFor.
+ *
+ * Destruction ordering: ~ThreadPool first hands the runner role to the
+ * newest remaining live pool (or un-installs it), then *blocks until
+ * every multiply already fanned out through this pool's runner has
+ * drained* — a multiply that snapshotted the runner concurrently with
+ * destruction degrades to sequential execution on its own thread
+ * instead of touching the dead pool. What remains a caller bug, and is
+ * asserted in checked builds (-DVITALITY_CHECKED=ON, base/check.h), is
+ * destroying a pool while another thread is inside one of its
+ * parallelFor() calls directly.
  *
  * The VITALITY_THREADS environment variable overrides the default
  * worker count (ThreadPool(0)) and also caps the GEMM band fan-out
@@ -31,12 +38,14 @@
 #ifndef VITALITY_RUNTIME_THREAD_POOL_H
 #define VITALITY_RUNTIME_THREAD_POOL_H
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <thread>
 #include <vector>
 
@@ -56,7 +65,12 @@ class ThreadPool
      */
     explicit ThreadPool(size_t num_threads = 0);
 
-    /** Drains nothing: pending tasks are completed before joining. */
+    /**
+     * Drains nothing: pending tasks are completed before joining.
+     * Blocks until multiplies fanned out through this pool's GEMM
+     * runner have drained (see the file comment); direct parallelFor
+     * callers must have returned already (checked-build contract).
+     */
     ~ThreadPool();
 
     ThreadPool(const ThreadPool &) = delete;
@@ -88,20 +102,60 @@ class ThreadPool
      * thread after the loop drains.
      *
      * Must not be called from a pool worker (the caller blocks on the
-     * workers, so nesting would deadlock).
+     * workers, so nesting would deadlock); checked builds assert this.
+     *
+     * Single-worker pools and single-index loops run the bodies inline
+     * on the calling thread (worker index 0) without touching the task
+     * queue: no heap allocation, no handoff latency. The steady-state
+     * encoder paths rely on this for their zero-allocation contract
+     * (tests/test_alloc.cpp), which is also why this is a template —
+     * the inline path must not materialize a std::function.
      */
-    void parallelFor(size_t begin, size_t end,
-                     const std::function<void(size_t index, size_t worker)>
-                         &body);
+    template <class Body>
+    void
+    parallelFor(size_t begin, size_t end, Body &&body)
+    {
+        if (begin >= end)
+            return;
+        if (workers_.size() == 1 || end - begin == 1) {
+            for (size_t i = begin; i < end; ++i)
+                body(i, size_t{0});
+            return;
+        }
+        parallelForImpl(begin, end, std::ref(body));
+    }
 
   private:
+    /**
+     * Shared between the pool and the Gemm runner closures it installs,
+     * and the one piece of pool state allowed to outlive the pool: a
+     * multiply can snapshot the runner just before ~ThreadPool
+     * un-installs it and invoke run() after. run() holds `gate` shared
+     * while fanning out; the destructor takes it exclusively and nulls
+     * `pool`, which (a) waits out every in-flight fan-out and (b) makes
+     * any later run() call execute its bands sequentially on the
+     * calling thread instead of dereferencing a dead pool.
+     */
+    struct RunnerState
+    {
+        std::shared_mutex gate;
+        ThreadPool *pool = nullptr;
+        size_t width = 0; ///< Worker count, immutable after construction.
+    };
+
     void workerLoop(size_t worker);
+    void parallelForImpl(size_t begin, size_t end,
+                         const std::function<void(size_t index,
+                                                  size_t worker)> &body);
 
     std::vector<std::thread> workers_;
     std::deque<std::function<void(size_t)>> queue_;
     std::mutex mutex_;
     std::condition_variable cv_;
     bool stopping_ = false;
+    /** Direct parallelFor() calls currently fanned out on this pool. */
+    std::atomic<size_t> inFlightLoops_{0};
+    std::shared_ptr<RunnerState> runnerState_;
     /** The Gemm runner this pool installed, or nullptr. */
     std::shared_ptr<const Gemm::ParallelRunner> gemmRunner_;
 };

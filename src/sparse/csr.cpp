@@ -10,6 +10,7 @@
 #include <emmintrin.h>
 #endif
 
+#include "base/check.h"
 #include "base/logging.h"
 #include "tensor/ops.h"
 
@@ -21,6 +22,32 @@ namespace {
 // default csr). Lazy like Gemm's mode knobs so the env override applies
 // no matter when the first sparse forward happens.
 std::atomic<int> g_sparseExec{-1};
+
+#if VITALITY_CHECKED
+// O(nnz) structure walk for the kernel DCHECKs: row pointers start at
+// 0, end at nnz, never decrease; column indices are in-bounds and
+// strictly ascending within a row (the iteration-order contract the
+// dense parity proofs rest on).
+bool
+csrWellFormed(const CsrMask &csr)
+{
+    const uint32_t *rp = csr.rowPtr();
+    const uint32_t *ci = csr.colIdx();
+    if (rp[0] != 0 || rp[csr.rows()] != csr.nnz())
+        return false;
+    for (size_t r = 0; r < csr.rows(); ++r) {
+        if (rp[r + 1] < rp[r])
+            return false;
+        for (uint32_t idx = rp[r]; idx < rp[r + 1]; ++idx) {
+            if (ci[idx] >= csr.cols())
+                return false;
+            if (idx > rp[r] && ci[idx] <= ci[idx - 1])
+                return false;
+        }
+    }
+    return true;
+}
+#endif
 
 } // namespace
 
@@ -184,6 +211,10 @@ sparseScoresInto(Matrix &vals, const CsrMask &csr, const Matrix &q,
         throw std::invalid_argument("sparseScores: Q/K vs csr mismatch");
     if (q.cols() != k.cols())
         throw std::invalid_argument("sparseScores: Q/K dim mismatch");
+    VITALITY_DCHECK(csrWellFormed(csr), "sparseScores: malformed CsrMask");
+    VITALITY_DCHECK(check::allFinite(q.data(), q.size()) &&
+                        check::allFinite(k.data(), k.size()),
+                    "sparseScores: non-finite Q/K");
 
     vals.resize(1, csr.nnz());
     const size_t d = q.cols();
@@ -207,6 +238,8 @@ maskedSoftmaxCsrInto(Matrix &vals, const CsrMask &csr)
 {
     if (vals.size() != csr.nnz())
         throw std::invalid_argument("maskedSoftmaxCsr: vals/nnz mismatch");
+    VITALITY_DCHECK(csrWellFormed(csr),
+                    "maskedSoftmaxCsr: malformed CsrMask");
 
     const uint32_t *rp = csr.rowPtr();
     float *v = vals.data();
@@ -258,6 +291,10 @@ spmmInto(Matrix &dst, const CsrMask &csr, const Matrix &vals,
     } else {
         dst.resize(csr.rows(), v.cols());
     }
+    VITALITY_DCHECK(csrWellFormed(csr), "spmm: malformed CsrMask");
+    VITALITY_DCHECK(check::allFinite(vals.data(), vals.size()) &&
+                        check::allFinite(v.data(), v.size()),
+                    "spmm: non-finite scores/V");
 
     const size_t n = v.cols();
     const uint32_t *rp = csr.rowPtr();

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "base/check.h"
 #include "base/logging.h"
 #include "sparse/csr.h"
 #include "tensor/ops.h"
@@ -100,6 +101,13 @@ SparseMask::rescueEmptyRows(const Matrix &scores)
             ++rescued;
         }
     }
+#if VITALITY_CHECKED
+    // The Sanger every-query-attends-somewhere guarantee this method
+    // exists to provide.
+    for (size_t r = 0; r < rows_; ++r)
+        VITALITY_DCHECK(cols_ == 0 || rowNnz(r) > 0,
+                        "rescueEmptyRows left row %zu empty", r);
+#endif
     return rescued;
 }
 

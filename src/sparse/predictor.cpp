@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "base/check.h"
+
 #include "attention/softmax_attention.h"
 #include "sparse/csr.h"
 #include "tensor/gemm.h"
@@ -168,6 +170,11 @@ SangerPredictor::predictInto(SparseMask &mask, const Matrix &q,
                              const Matrix &k, Workspace &ws,
                              bool rescue_empty_rows) const
 {
+    // A NaN would compare false against every threshold and silently
+    // prune the whole row; catch it where the prediction starts.
+    VITALITY_DCHECK(check::allFinite(q.data(), q.size()) &&
+                        check::allFinite(k.data(), k.size()),
+                    "predictInto: non-finite Q/K");
     Workspace::Frame frame(ws);
     Matrix &scores = ws.acquire(q.rows(), k.rows());
     {
@@ -197,6 +204,9 @@ SangerPredictor::predictCsrInto(CsrMask &csr, const Matrix &q,
                                 const Matrix &k, Workspace &ws,
                                 bool rescue_empty_rows) const
 {
+    VITALITY_DCHECK(check::allFinite(q.data(), q.size()) &&
+                        check::allFinite(k.data(), k.size()),
+                    "predictCsrInto: non-finite Q/K");
     Workspace::Frame frame(ws);
     Matrix &scores = ws.acquire(q.rows(), k.rows());
     {

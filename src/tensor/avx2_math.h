@@ -1,5 +1,3 @@
-#pragma once
-
 /**
  * @file
  * Shared 8-lane AVX2 transcendental helpers for the GEMM backends.
@@ -19,6 +17,9 @@
  * the documented vmaxps/vminps NaN-takes-the-second-operand semantics,
  * which the scalar selects mirror.
  */
+
+#ifndef VITALITY_TENSOR_AVX2_MATH_H
+#define VITALITY_TENSOR_AVX2_MATH_H
 
 #include <immintrin.h>
 
@@ -78,3 +79,5 @@ geluApprox8(__m256 x)
 
 } // namespace detail
 } // namespace vitality
+
+#endif // VITALITY_TENSOR_AVX2_MATH_H

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "base/check.h"
 #include "base/logging.h"
 #include "base/rng.h"
 
@@ -69,6 +70,19 @@ Batch::resize(size_t images, size_t rows, size_t cols)
         m.resize(rows, cols);
     while (images_.size() < images)
         images_.emplace_back(rows, cols);
+
+    // Postcondition: the uniform-shape invariant every Batch consumer
+    // (forwardBatch fan-outs, operator==) assumes — B images, each
+    // exactly rows x cols.
+    VITALITY_CHECK(images_.size() == images,
+                   "Batch::resize left %zu images, wanted %zu",
+                   images_.size(), images);
+#if VITALITY_CHECKED
+    for (const Matrix &m : images_)
+        VITALITY_DCHECK(m.rows() == rows && m.cols() == cols,
+                        "Batch::resize left image %s, wanted [%zu x %zu]",
+                        m.shapeStr().c_str(), rows, cols);
+#endif
 }
 
 void

@@ -8,6 +8,7 @@
 
 #include <vector>
 
+#include "base/check.h"
 #include "base/logging.h"
 #include "tensor/gemm_epilogue.h"
 #include "tensor/gemm_int8.h"
@@ -435,6 +436,25 @@ Gemm::multiply(Matrix &dst, const Matrix &a, const Matrix &b, Trans trans,
     if (&dst == &a || &dst == &b)
         throw std::invalid_argument("gemm: dst must not alias an input");
     validateEpilogue(dst, dims, ep);
+    // Checked-build contracts: identity covers aliasing only while every
+    // Matrix owns its storage — assert the data ranges agree — and the
+    // backends assume finite inputs (a NaN would quietly poison every
+    // row it touches; catch it at the one dispatch point instead).
+    VITALITY_DCHECK(check::noAlias(dst.data(), dst.size(), a.data(),
+                                   a.size()) &&
+                        check::noAlias(dst.data(), dst.size(), b.data(),
+                                       b.size()),
+                    "gemm: dst storage overlaps an input");
+    VITALITY_DCHECK(check::allFinite(a.data(), a.size()),
+                    "gemm: non-finite A operand %s", a.shapeStr().c_str());
+    VITALITY_DCHECK(check::allFinite(b.data(), b.size()),
+                    "gemm: non-finite B operand %s", b.shapeStr().c_str());
+    VITALITY_DCHECK(!ep.bias ||
+                        check::allFinite(ep.bias->data(), ep.bias->size()),
+                    "gemm: non-finite epilogue bias");
+    VITALITY_DCHECK(!ep.accumulate ||
+                        check::allFinite(dst.data(), dst.size()),
+                    "gemm: accumulate into non-finite dst");
     if (!ep.accumulate)
         dst.resize(dims.m, dims.n);
     if (dims.m == 0 || dims.n == 0)
@@ -549,6 +569,14 @@ Gemm::multiply(Matrix &dst, const QuantizedMatrix &a,
                    dims.k, kMaxQuantDepth));
     }
     validateEpilogue(dst, dims, ep);
+    // Integer operands cannot hold NaN/Inf; the float-side contracts
+    // still apply to the epilogue inputs.
+    VITALITY_DCHECK(!ep.bias ||
+                        check::allFinite(ep.bias->data(), ep.bias->size()),
+                    "gemm(int8): non-finite epilogue bias");
+    VITALITY_DCHECK(!ep.accumulate ||
+                        check::allFinite(dst.data(), dst.size()),
+                    "gemm(int8): accumulate into non-finite dst");
     if (!ep.accumulate)
         dst.resize(dims.m, dims.n);
     if (dims.m == 0 || dims.n == 0)

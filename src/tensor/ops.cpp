@@ -6,6 +6,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "base/check.h"
 #include "base/logging.h"
 #include "tensor/gemm.h"
 #include "tensor/transcendental.h"
@@ -462,6 +463,14 @@ layerNormRowsInto(Matrix &dst, const Matrix &a, const Matrix &gamma,
         throw std::invalid_argument("layerNormRowsInto: dst aliases params");
     if (a.cols() == 0)
         throw std::invalid_argument("layerNormRows: zero columns");
+    // A single NaN spreads through the whole row via mean/variance;
+    // catch it on entry in checked builds rather than in the output.
+    VITALITY_DCHECK(check::allFinite(a.data(), a.size()),
+                    "layerNormRows: non-finite input %s",
+                    a.shapeStr().c_str());
+    VITALITY_DCHECK(check::allFinite(gamma.data(), gamma.size()) &&
+                        check::allFinite(beta.data(), beta.size()),
+                    "layerNormRows: non-finite gamma/beta");
     dst.resize(a.rows(), a.cols());
     const float inv_n = 1.0f / static_cast<float>(a.cols());
     const float *grow = gamma.rowPtr(0);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "base/check.h"
 #include "tensor/gemm.h"
 #include "tensor/gemm_int8.h"
 #include "tensor/ops.h"
@@ -23,6 +24,11 @@ QuantizedMatrix::reshape(size_t rows, size_t cols, Kind kind,
 void
 QuantizedMatrix::assignWeights(const Matrix &m)
 {
+    // maxAbs of a NaN-bearing matrix poisons the scale for every
+    // element; quantization is where the corruption becomes silent.
+    VITALITY_DCHECK(check::allFinite(m.data(), m.size()),
+                    "assignWeights: non-finite weights %s",
+                    m.shapeStr().c_str());
     reshape(m.rows(), m.cols(), Kind::WeightS8, Granularity::PerTensor);
     scale_.assign(1, 1.0f);
     zero_.assign(1, 0);
@@ -51,6 +57,9 @@ QuantizedMatrix::assignWeights(const Matrix &m)
 void
 QuantizedMatrix::assignActivations(const Matrix &m, Granularity granularity)
 {
+    VITALITY_DCHECK(check::allFinite(m.data(), m.size()),
+                    "assignActivations: non-finite activations %s",
+                    m.shapeStr().c_str());
     reshape(m.rows(), m.cols(), Kind::ActivationU7, granularity);
     const size_t groups =
         granularity == Granularity::PerRow ? rows_ : size_t{1};

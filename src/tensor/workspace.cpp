@@ -3,6 +3,8 @@
 #include <cstdint>
 #include <stdexcept>
 
+#include "base/check.h"
+
 namespace vitality {
 
 Matrix &
@@ -36,7 +38,18 @@ Workspace::acquireAligned(size_t count, size_t alignBytes)
     Matrix &m = acquire(1, count + slack);
     const uintptr_t raw = reinterpret_cast<uintptr_t>(m.data());
     const uintptr_t aligned = (raw + alignBytes - 1) & ~(uintptr_t(alignBytes) - 1);
-    return reinterpret_cast<float *>(aligned);
+    float *ptr = reinterpret_cast<float *>(aligned);
+    // The round-up must land inside the over-allocated slot and on the
+    // requested boundary — the AVX2 kernels issue aligned loads on the
+    // result.
+    VITALITY_CHECK(check::isAligned(ptr, alignBytes),
+                   "acquireAligned: %p not %zu-byte aligned",
+                   static_cast<void *>(ptr), alignBytes);
+    VITALITY_CHECK(ptr + count <= m.data() + m.size(),
+                   "acquireAligned: aligned span [%zu floats] leaves the "
+                   "backing slot",
+                   count);
+    return ptr;
 }
 
 size_t

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Counting replacements for the global operator new/delete family.
+ *
+ * Linked into test binaries that assert zero-allocation contracts
+ * (see alloc_tracker.h). Every variant funnels through one pair of
+ * counting helpers; failure behavior matches the standard operators
+ * (throwing new raises std::bad_alloc, nothrow new returns nullptr).
+ */
+
+#include "alloc_tracker.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+namespace {
+
+std::atomic<uint64_t> g_allocs{0};
+std::atomic<uint64_t> g_frees{0};
+
+void *
+countedAlloc(std::size_t size)
+{
+    g_allocs.fetch_add(1, std::memory_order_relaxed);
+    // malloc(0) may return nullptr; operator new must not.
+    return std::malloc(size ? size : 1);
+}
+
+void *
+countedAlignedAlloc(std::size_t size, std::size_t alignment)
+{
+    g_allocs.fetch_add(1, std::memory_order_relaxed);
+    void *p = nullptr;
+    if (posix_memalign(&p, alignment, size ? size : alignment) != 0)
+        return nullptr;
+    return p;
+}
+
+void
+countedFree(void *p)
+{
+    if (p) {
+        g_frees.fetch_add(1, std::memory_order_relaxed);
+        std::free(p);
+    }
+}
+
+} // namespace
+
+namespace vitality {
+namespace testing {
+
+uint64_t
+allocationCount()
+{
+    return g_allocs.load(std::memory_order_relaxed);
+}
+
+uint64_t
+deallocationCount()
+{
+    return g_frees.load(std::memory_order_relaxed);
+}
+
+} // namespace testing
+} // namespace vitality
+
+void *
+operator new(std::size_t size)
+{
+    void *p = countedAlloc(size);
+    if (!p)
+        throw std::bad_alloc();
+    return p;
+}
+
+void *
+operator new[](std::size_t size)
+{
+    return operator new(size);
+}
+
+void *
+operator new(std::size_t size, const std::nothrow_t &) noexcept
+{
+    return countedAlloc(size);
+}
+
+void *
+operator new[](std::size_t size, const std::nothrow_t &) noexcept
+{
+    return countedAlloc(size);
+}
+
+void *
+operator new(std::size_t size, std::align_val_t alignment)
+{
+    void *p = countedAlignedAlloc(size, static_cast<std::size_t>(alignment));
+    if (!p)
+        throw std::bad_alloc();
+    return p;
+}
+
+void *
+operator new[](std::size_t size, std::align_val_t alignment)
+{
+    return operator new(size, alignment);
+}
+
+void *
+operator new(std::size_t size, std::align_val_t alignment,
+             const std::nothrow_t &) noexcept
+{
+    return countedAlignedAlloc(size, static_cast<std::size_t>(alignment));
+}
+
+void *
+operator new[](std::size_t size, std::align_val_t alignment,
+               const std::nothrow_t &) noexcept
+{
+    return countedAlignedAlloc(size, static_cast<std::size_t>(alignment));
+}
+
+void
+operator delete(void *p) noexcept
+{
+    countedFree(p);
+}
+
+void
+operator delete[](void *p) noexcept
+{
+    countedFree(p);
+}
+
+void
+operator delete(void *p, std::size_t) noexcept
+{
+    countedFree(p);
+}
+
+void
+operator delete[](void *p, std::size_t) noexcept
+{
+    countedFree(p);
+}
+
+void
+operator delete(void *p, std::align_val_t) noexcept
+{
+    countedFree(p);
+}
+
+void
+operator delete[](void *p, std::align_val_t) noexcept
+{
+    countedFree(p);
+}
+
+void
+operator delete(void *p, std::size_t, std::align_val_t) noexcept
+{
+    countedFree(p);
+}
+
+void
+operator delete[](void *p, std::size_t, std::align_val_t) noexcept
+{
+    countedFree(p);
+}
+
+void
+operator delete(void *p, const std::nothrow_t &) noexcept
+{
+    countedFree(p);
+}
+
+void
+operator delete[](void *p, const std::nothrow_t &) noexcept
+{
+    countedFree(p);
+}

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Steady-state zero-allocation contracts, enforced with the counting
+ * operator new/delete replacements in alloc_tracker.cpp.
+ *
+ * The *Into paths document that after warm-up (first call at a given
+ * shape) they perform no heap allocations: every intermediate lives in
+ * a recycled Workspace / Batch / CsrMask. This suite turns that
+ * comment into a failing test: warm each path twice, then assert an
+ * AllocationProbe around a third call observes zero allocations.
+ *
+ * All encoder runs use ThreadPool(1): the single-worker pool takes
+ * parallelFor's inline fast path (no task-closure or loop-state
+ * allocations) and installs a width-1 GEMM runner (no band fan-out),
+ * so the only remaining allocation sources would be genuine contract
+ * violations in the tensor/attention/model layers.
+ */
+
+#include "attention/zoo.h"
+#include "base/rng.h"
+#include "model/vit_encoder.h"
+#include "runtime/thread_pool.h"
+#include "tensor/batch.h"
+#include "tensor/gemm.h"
+
+#include "alloc_tracker.h"
+#include "testing.h"
+
+using namespace vitality;
+
+namespace {
+
+VitConfig
+allocConfig()
+{
+    VitConfig cfg;
+    cfg.name = "alloc-tiny";
+    cfg.layers = 2;
+    cfg.heads = 2;
+    cfg.dModel = 32;
+    cfg.tokens = 16;
+    cfg.mlpHidden = 64;
+    return cfg;
+}
+
+/**
+ * The whole suite is vacuous if the replacement operators did not
+ * actually link in, so first prove the probe sees a plain new/delete.
+ */
+void
+testTrackerObservesAllocations()
+{
+    testing::AllocationProbe probe;
+    // The volatile pointer stops the optimizer from eliding the
+    // new/delete pair outright (allowed since C++14).
+    int *volatile p = new int(7);
+    T_CHECK(probe.allocations() >= 1);
+    const uint64_t frees_before = testing::deallocationCount();
+    delete p;
+    T_CHECK(testing::deallocationCount() > frees_before);
+
+    // Aligned news (Matrix storage is 32B-aligned) are counted too.
+    testing::AllocationProbe aligned_probe;
+    Matrix m(4, 8);
+    T_CHECK(aligned_probe.allocations() >= 1);
+    (void)m;
+}
+
+/** Every zoo kernel's forwardInto is allocation-free once warm. */
+void
+testZooForwardIntoAllocationFree()
+{
+    const size_t n = 24, d = 16;
+    Rng rng(0xa110c);
+    const Matrix q = Matrix::randn(n, d, rng, 0.0f, 0.5f);
+    const Matrix k = Matrix::randn(n, d, rng, 0.0f, 0.5f);
+    const Matrix v = Matrix::randn(n, d, rng);
+
+    for (const AttentionKernelPtr &kernel : makeAttentionZoo()) {
+        // name() builds a std::string; keep it outside the probe.
+        const std::string name = kernel->name();
+        AttentionContext ctx;
+        Matrix out;
+        kernel->forwardInto(ctx, q, k, v, out);
+        kernel->forwardInto(ctx, q, k, v, out);
+
+        testing::AllocationProbe probe;
+        kernel->forwardInto(ctx, q, k, v, out);
+        if (probe.allocations() != 0)
+            testing::reportFailure(__FILE__, __LINE__, name.c_str());
+    }
+}
+
+/** VitEncoder::forwardInto is allocation-free once warm. */
+void
+testEncoderForwardAllocationFree()
+{
+    const VitConfig cfg = allocConfig();
+    Rng rng(0xa111);
+    const Matrix x =
+        Matrix::randn(cfg.tokens, cfg.dModel, rng, 0.0f, 0.5f);
+    ThreadPool pool(1);
+
+    for (AttentionType type :
+         {AttentionType::Softmax, AttentionType::Taylor,
+          AttentionType::SangerSparse}) {
+        const std::string name = attentionTypeName(type);
+        VitEncoder enc(cfg, makeAttention(type));
+        Matrix out;
+        enc.forwardInto(x, pool, out);
+        enc.forwardInto(x, pool, out);
+
+        testing::AllocationProbe probe;
+        enc.forwardInto(x, pool, out);
+        if (probe.allocations() != 0)
+            testing::reportFailure(__FILE__, __LINE__, name.c_str());
+    }
+}
+
+/** VitEncoder::forwardBatchInto is allocation-free once warm. */
+void
+testEncoderForwardBatchAllocationFree()
+{
+    const VitConfig cfg = allocConfig();
+    const size_t images = 3;
+    Rng rng(0xa112);
+    const Batch x =
+        Batch::randn(images, cfg.tokens, cfg.dModel, rng, 0.0f, 0.5f);
+    ThreadPool pool(1);
+
+    VitEncoder enc(cfg, makeAttention(AttentionType::Taylor));
+    Batch out;
+    enc.forwardBatchInto(x, pool, out);
+    enc.forwardBatchInto(x, pool, out);
+
+    testing::AllocationProbe probe;
+    enc.forwardBatchInto(x, pool, out);
+    T_CHECK(probe.allocations() == 0);
+}
+
+/**
+ * The INT8 dense path is allocation-free once warm too: the quantized
+ * weight cache is built on the first int8 forward, and the per-call
+ * activation quantization writes into recycled thread-local scratch.
+ */
+void
+testEncoderInt8ForwardAllocationFree()
+{
+    const Gemm::QuantMode prev = Gemm::quantMode();
+    Gemm::setQuantMode(Gemm::QuantMode::Int8);
+
+    const VitConfig cfg = allocConfig();
+    Rng rng(0xa113);
+    const Matrix x =
+        Matrix::randn(cfg.tokens, cfg.dModel, rng, 0.0f, 0.5f);
+    ThreadPool pool(1);
+
+    VitEncoder enc(cfg, makeAttention(AttentionType::Taylor));
+    Matrix out;
+    enc.forwardInto(x, pool, out); // builds the int8 weight cache
+    enc.forwardInto(x, pool, out);
+
+    testing::AllocationProbe probe;
+    enc.forwardInto(x, pool, out);
+    T_CHECK(probe.allocations() == 0);
+
+    Gemm::setQuantMode(prev);
+}
+
+} // namespace
+
+int
+main()
+{
+    testTrackerObservesAllocations();
+    testZooForwardIntoAllocationFree();
+    testEncoderForwardAllocationFree();
+    testEncoderForwardBatchAllocationFree();
+    testEncoderInt8ForwardAllocationFree();
+    return vitality::testing::finish("test_alloc");
+}

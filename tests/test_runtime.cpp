@@ -16,6 +16,7 @@
 
 #include "attention/zoo.h"
 #include "base/rng.h"
+#include "runtime/call_guard.h"
 #include "runtime/multi_head_attention.h"
 #include "runtime/thread_pool.h"
 #include "tensor/batch.h"
@@ -82,6 +83,91 @@ testWorkerThreadFlag()
     });
     T_CHECK(onWorker.load() == 8);
     T_CHECK(!ThreadPool::onWorkerThread());
+}
+
+void
+testThreadPoolSingleWorkerInlinePath()
+{
+    // A single-worker pool runs parallelFor bodies inline on the
+    // calling thread (worker index 0), without touching the task
+    // queue — the contract tests/test_alloc.cpp's zero-allocation
+    // assertions lean on.
+    ThreadPool pool(1);
+    const std::thread::id caller = std::this_thread::get_id();
+    int ran = 0;
+    pool.parallelFor(0, 5, [&](size_t i, size_t worker) {
+        T_CHECK(worker == 0);
+        T_CHECK(std::this_thread::get_id() == caller);
+        T_CHECK(!ThreadPool::onWorkerThread());
+        ran += static_cast<int>(i) + 1;
+    });
+    T_CHECK(ran == 15);
+
+    // Empty range stays a no-op, and exceptions still propagate from
+    // the inline path.
+    pool.parallelFor(3, 3, [&](size_t, size_t) { ran = -1; });
+    T_CHECK(ran == 15);
+    T_CHECK_THROWS(pool.parallelFor(0, 4,
+                                    [](size_t, size_t) {
+                                        throw std::runtime_error("inline");
+                                    }),
+                   std::runtime_error);
+
+    // A single-index loop takes the same inline path even on a
+    // multi-worker pool.
+    ThreadPool wide(4);
+    bool inline_run = false;
+    wide.parallelFor(7, 8, [&](size_t i, size_t worker) {
+        T_CHECK(i == 7 && worker == 0);
+        inline_run = std::this_thread::get_id() == caller;
+    });
+    T_CHECK(inline_run);
+}
+
+void
+testThreadCountOverridePrecedence()
+{
+    // ThreadPool(0) resolves through Gemm::maxThreads() — the
+    // VITALITY_THREADS / setMaxThreads() knob — while explicit
+    // constructor counts are never overridden.
+    const size_t prevCap = Gemm::maxThreads();
+    Gemm::setMaxThreads(3);
+    {
+        ThreadPool defaulted(0);
+        T_CHECK(defaulted.size() == 3);
+        ThreadPool explicit_count(2);
+        T_CHECK(explicit_count.size() == 2);
+    }
+    Gemm::setMaxThreads(prevCap);
+    {
+        ThreadPool defaulted(0);
+        T_CHECK(defaulted.size() >= 1);
+        if (prevCap > 0)
+            T_CHECK(defaulted.size() == prevCap);
+    }
+}
+
+void
+testCallGuardBasics()
+{
+    std::atomic<bool> busy{false};
+
+    // Entering sets the flag; a second guard on the same flag throws
+    // without disturbing the holder; leaving releases it.
+    {
+        CallGuard guard(busy, "occupied");
+        T_CHECK(busy.load());
+        T_CHECK_THROWS(CallGuard(busy, "occupied"), std::logic_error);
+        T_CHECK(busy.load());
+    }
+    T_CHECK(!busy.load());
+
+    // Reusable after release, including after a rejected attempt.
+    {
+        CallGuard guard(busy, "again");
+        T_CHECK(busy.load());
+    }
+    T_CHECK(!busy.load());
 }
 
 void
@@ -403,6 +489,9 @@ main()
     testThreadPoolRunsEverything();
     testThreadPoolPropagatesExceptions();
     testWorkerThreadFlag();
+    testThreadPoolSingleWorkerInlinePath();
+    testThreadCountOverridePrecedence();
+    testCallGuardBasics();
     testIntraGemmRowBands();
     testMultiHeadMatchesSequentialAndLegacy();
     testMultiHeadDeterministicAcrossPoolSizes();
