@@ -48,12 +48,10 @@
 
 #include <algorithm>
 #include <cctype>
-#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <ctime>
-#include <fstream>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -62,6 +60,7 @@
 #include "attention/zoo.h"
 #include "base/logging.h"
 #include "base/rng.h"
+#include "bench_util.h"
 #include "model/vit_config.h"
 #include "model/vit_encoder.h"
 #include "runtime/multi_head_attention.h"
@@ -72,17 +71,13 @@
 #include "tensor/matrix.h"
 
 using namespace vitality;
+using benchutil::appendToTrajectory;
+using benchutil::gitSha;
+using benchutil::isoUtc;
+using benchutil::median;
+using benchutil::nowMs;
 
 namespace {
-
-double
-nowMs()
-{
-    using clock = std::chrono::steady_clock;
-    return std::chrono::duration<double, std::milli>(
-               clock::now().time_since_epoch())
-        .count();
-}
 
 struct Result
 {
@@ -130,61 +125,6 @@ measuredDensity(const AttentionKernel &kernel, size_t heads,
     return sum / static_cast<double>(heads);
 }
 
-/** Median of a (small) sample; v is reordered. */
-double
-median(std::vector<double> &v)
-{
-    if (v.empty())
-        return 0.0;
-    std::sort(v.begin(), v.end());
-    const size_t mid = v.size() / 2;
-    return v.size() % 2 ? v[mid] : 0.5 * (v[mid - 1] + v[mid]);
-}
-
-std::string
-gitSha()
-{
-    // BENCH_GIT_SHA first: it is the explicit override, and on
-    // pull_request events CI points it at the PR head commit while
-    // GITHUB_SHA names the synthetic merge ref nobody can check out
-    // later.
-    for (const char *var : {"BENCH_GIT_SHA", "GITHUB_SHA"}) {
-        const char *env = std::getenv(var);
-        if (env && *env)
-            return env;
-    }
-    if (FILE *p = popen("git rev-parse HEAD 2>/dev/null", "r")) {
-        char buf[64] = {0};
-        const bool got = std::fgets(buf, sizeof(buf), p) != nullptr;
-        pclose(p);
-        if (got) {
-            std::string sha(buf);
-            while (!sha.empty() &&
-                   (sha.back() == '\n' || sha.back() == '\r'))
-                sha.pop_back();
-            if (!sha.empty()) {
-                // Mark uncommitted-tree runs so a trajectory entry is
-                // never misattributed to a commit that cannot have
-                // produced it.
-                if (std::system("git diff-index --quiet HEAD -- "
-                                ">/dev/null 2>&1") != 0)
-                    sha += "-dirty";
-                return sha;
-            }
-        }
-    }
-    return "unknown";
-}
-
-std::string
-isoUtc(std::time_t t)
-{
-    char buf[32];
-    std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ",
-                  std::gmtime(&t));
-    return buf;
-}
-
 /** One run entry: everything about this invocation, as a JSON object. */
 std::string
 entryJson(const std::vector<Result> &results, size_t pool_threads)
@@ -227,68 +167,6 @@ entryJson(const std::vector<Result> &results, size_t pool_threads)
     }
     os << "  ]\n}";
     return os.str();
-}
-
-std::string
-rtrim(std::string s)
-{
-    while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back())))
-        s.pop_back();
-    return s;
-}
-
-/**
- * Append entry to the trajectory array at path. Missing / empty file
- * starts a fresh array; a legacy single-object snapshot is wrapped.
- */
-void
-appendToTrajectory(const std::string &path, const std::string &entry)
-{
-    std::string existing;
-    {
-        std::ifstream in(path);
-        if (in) {
-            std::ostringstream slurp;
-            slurp << in.rdbuf();
-            existing = rtrim(slurp.str());
-        }
-    }
-
-    std::string merged;
-    if (existing.empty()) {
-        merged = "[\n" + entry + "\n]\n";
-    } else if (existing.back() == ']') {
-        existing.pop_back();
-        existing = rtrim(existing);
-        if (!existing.empty() && existing.back() == '[')
-            merged = existing + "\n" + entry + "\n]\n"; // empty array
-        else
-            merged = existing + ",\n" + entry + "\n]\n";
-    } else if (existing.back() == '}') {
-        // Legacy single-snapshot format: wrap it as the first entry.
-        merged = "[\n" + existing + ",\n" + entry + "\n]\n";
-    } else {
-        warn("bench_attention: %s is not a JSON array or object; "
-             "starting a fresh trajectory",
-             path.c_str());
-        merged = "[\n" + entry + "\n]\n";
-    }
-
-    // Write-then-rename so an interrupted run can never leave the
-    // trajectory truncated mid-JSON (which would drop the accumulated
-    // history on the next append).
-    const std::string tmp = path + ".tmp";
-    {
-        std::ofstream out(tmp, std::ios::trunc);
-        if (!out)
-            fatal("bench_attention: cannot write %s", tmp.c_str());
-        out << merged;
-        if (!out.flush())
-            fatal("bench_attention: write to %s failed", tmp.c_str());
-    }
-    if (std::rename(tmp.c_str(), path.c_str()) != 0)
-        fatal("bench_attention: cannot rename %s to %s", tmp.c_str(),
-              path.c_str());
 }
 
 } // namespace
@@ -337,10 +215,10 @@ main(int argc, char **argv)
     const std::vector<AttentionKernelPtr> kernels = {
         makeAttention(AttentionType::Taylor),
         makeAttention(AttentionType::Softmax),
-        std::make_shared<UnifiedAttention>(0.5f),
-        std::make_shared<UnifiedAttention>(0.02f),
-        std::make_shared<SangerSparseAttention>(0.5f),
-        std::make_shared<SangerSparseAttention>(0.02f)};
+        makeAttention(AttentionType::Unified, 0.5f),
+        makeAttention(AttentionType::Unified, 0.02f),
+        makeAttention(AttentionType::SangerSparse, 0.5f),
+        makeAttention(AttentionType::SangerSparse, 0.02f)};
     const std::vector<size_t> batchSizes = {1, 4, 16};
     const size_t maxBatch =
         *std::max_element(batchSizes.begin(), batchSizes.end());

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Shared machinery for the bench executables: wall-clock sampling,
+ * small-sample statistics, run provenance (git SHA with a -dirty
+ * marker, ISO-8601 UTC timestamps), and the append-only trajectory
+ * file format every bench writes (a JSON array of run entries,
+ * write-then-rename so an interrupted run never truncates history;
+ * a legacy single-object snapshot is wrapped into the array on first
+ * append). Factored out of bench_attention so bench_serve emits
+ * entries with identical provenance and the regression gate can treat
+ * both trajectories uniformly.
+ *
+ * Header-only: each bench is a single TU, so out-of-line definitions
+ * would buy nothing.
+ */
+
+#ifndef VITALITY_BENCH_BENCH_UTIL_H
+#define VITALITY_BENCH_BENCH_UTIL_H
+
+#include <algorithm>
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "base/logging.h"
+
+namespace vitality {
+namespace benchutil {
+
+inline double
+nowMs()
+{
+    using clock = std::chrono::steady_clock;
+    return std::chrono::duration<double, std::milli>(
+               clock::now().time_since_epoch())
+        .count();
+}
+
+/** Median of a (small) sample; v is reordered. */
+inline double
+median(std::vector<double> &v)
+{
+    if (v.empty())
+        return 0.0;
+    std::sort(v.begin(), v.end());
+    const size_t mid = v.size() / 2;
+    return v.size() % 2 ? v[mid] : 0.5 * (v[mid - 1] + v[mid]);
+}
+
+/**
+ * Exact quantile by nearest-rank over a sorted copy-free sample;
+ * v is reordered (nth_element). q in [0, 1]; q=0.5 is the lower
+ * median. Small-sample friendly: every returned value is an actual
+ * observation, so p99 of 200 requests is the 2nd-worst request, not
+ * an interpolation between two.
+ */
+inline double
+quantile(std::vector<double> &v, double q)
+{
+    if (v.empty())
+        return 0.0;
+    const double pos = q * static_cast<double>(v.size() - 1);
+    size_t idx = static_cast<size_t>(pos + 0.5); // nearest rank
+    if (idx >= v.size())
+        idx = v.size() - 1;
+    std::nth_element(v.begin(), v.begin() + static_cast<long>(idx),
+                     v.end());
+    return v[idx];
+}
+
+inline std::string
+gitSha()
+{
+    // BENCH_GIT_SHA first: it is the explicit override, and on
+    // pull_request events CI points it at the PR head commit while
+    // GITHUB_SHA names the synthetic merge ref nobody can check out
+    // later.
+    for (const char *var : {"BENCH_GIT_SHA", "GITHUB_SHA"}) {
+        const char *env = std::getenv(var);
+        if (env && *env)
+            return env;
+    }
+    if (FILE *p = popen("git rev-parse HEAD 2>/dev/null", "r")) {
+        char buf[64] = {0};
+        const bool got = std::fgets(buf, sizeof(buf), p) != nullptr;
+        pclose(p);
+        if (got) {
+            std::string sha(buf);
+            while (!sha.empty() &&
+                   (sha.back() == '\n' || sha.back() == '\r'))
+                sha.pop_back();
+            if (!sha.empty()) {
+                // Mark uncommitted-tree runs so a trajectory entry is
+                // never misattributed to a commit that cannot have
+                // produced it.
+                if (std::system("git diff-index --quiet HEAD -- "
+                                ">/dev/null 2>&1") != 0)
+                    sha += "-dirty";
+                return sha;
+            }
+        }
+    }
+    return "unknown";
+}
+
+inline std::string
+isoUtc(std::time_t t)
+{
+    char buf[32];
+    std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ",
+                  std::gmtime(&t));
+    return buf;
+}
+
+inline std::string
+rtrim(std::string s)
+{
+    while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back())))
+        s.pop_back();
+    return s;
+}
+
+/**
+ * Append entry to the trajectory array at path. Missing / empty file
+ * starts a fresh array; a legacy single-object snapshot is wrapped.
+ */
+inline void
+appendToTrajectory(const std::string &path, const std::string &entry)
+{
+    std::string existing;
+    {
+        std::ifstream in(path);
+        if (in) {
+            std::ostringstream slurp;
+            slurp << in.rdbuf();
+            existing = rtrim(slurp.str());
+        }
+    }
+
+    std::string merged;
+    if (existing.empty()) {
+        merged = "[\n" + entry + "\n]\n";
+    } else if (existing.back() == ']') {
+        existing.pop_back();
+        existing = rtrim(existing);
+        if (!existing.empty() && existing.back() == '[')
+            merged = existing + "\n" + entry + "\n]\n"; // empty array
+        else
+            merged = existing + ",\n" + entry + "\n]\n";
+    } else if (existing.back() == '}') {
+        // Legacy single-snapshot format: wrap it as the first entry.
+        merged = "[\n" + existing + ",\n" + entry + "\n]\n";
+    } else {
+        warn("bench: %s is not a JSON array or object; "
+             "starting a fresh trajectory",
+             path.c_str());
+        merged = "[\n" + entry + "\n]\n";
+    }
+
+    // Write-then-rename so an interrupted run can never leave the
+    // trajectory truncated mid-JSON (which would drop the accumulated
+    // history on the next append).
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::trunc);
+        if (!out)
+            fatal("bench: cannot write %s", tmp.c_str());
+        out << merged;
+        if (!out.flush())
+            fatal("bench: write to %s failed", tmp.c_str());
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0)
+        fatal("bench: cannot rename %s to %s", tmp.c_str(),
+              path.c_str());
+}
+
+} // namespace benchutil
+} // namespace vitality
+
+#endif // VITALITY_BENCH_BENCH_UTIL_H

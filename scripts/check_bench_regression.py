@@ -1,10 +1,13 @@
 #!/usr/bin/env python3
-"""Bench-regression gate for BENCH_attention.json-style trajectories.
+"""Bench-regression gate for SHA-keyed benchmark trajectories.
 
 Compares the newest run entry against prior *comparable* entries and
-fails (exit 1) if median wall-clock latency regressed by more than the
-threshold (default +20%) at any (model, kernel, batch) shape present in
-both. Two entries are comparable when their full execution
+fails (exit 1) if any gated metric regressed by more than the threshold
+(default +20%) at any (model, kernel, shape) present in both. Kernel
+rows (bench_attention) gate median wall-clock per batch size; serve
+rows (bench_serve) gate the p50/p95/p99 client-observed latency and
+sustained images_per_s per batching policy (max_batch, max_wait_us) —
+see keyed_results() for why the policy is part of the key. Two entries are comparable when their full execution
 configuration matches — gemm_backend, pool_threads, gemm_threads (the
 intra-GEMM row-band width), and epilogue mode: a scalar run is expected
 to be slower than an avx2 run, a single-thread run slower than a
@@ -67,14 +70,51 @@ def comparable(old, new):
     return all(old.get(f) == new.get(f) for f in CONFIG_FIELDS)
 
 
+# Serve-row latency percentiles: each is gated independently (a p99
+# blowup with a flat p50 is a queueing regression worth catching).
+SERVE_PERCENTILES = ("p50_ms", "p95_ms", "p99_ms")
+
+
 def keyed_results(entry):
+    """Map (model, kernel, shape, metric) -> value.
+
+    Kernel rows (bench_attention) carry one metric — median wall-clock
+    — keyed on the batch size. Serve rows (bench_serve, kernel
+    "Serve(<name>)", recognized by their p50_ms column) carry a
+    client-observed latency distribution plus sustained throughput;
+    each percentile and images_per_s is its own gated metric, keyed on
+    the batching policy (max_batch, max_wait_us) — the policy is part
+    of the shape the way batch is for kernel rows: a 2 ms-window run
+    sits on a different latency/throughput point than a no-batching
+    run, and comparing across the two would flag the policy, not the
+    code.
+    """
     out = {}
     for r in entry.get("results", []):
-        key = (r.get("model"), r.get("kernel"), r.get("batch"))
-        wall = r.get("wall_ms_median", r.get("wall_ms_mean"))
-        if None not in key and wall is not None:
-            out[key] = float(wall)
+        model, kernel = r.get("model"), r.get("kernel")
+        if model is None or kernel is None:
+            continue
+        if r.get("p50_ms") is not None:
+            shape = (f"mb={r.get('max_batch')},"
+                     f"wait={r.get('max_wait_us')}us")
+            for metric in SERVE_PERCENTILES + ("images_per_s",):
+                if r.get(metric) is not None:
+                    out[(model, kernel, shape, metric)] = float(r[metric])
+        else:
+            wall = r.get("wall_ms_median", r.get("wall_ms_mean"))
+            if r.get("batch") is not None and wall is not None:
+                out[(model, kernel, f"B={r['batch']}", "wall_ms")] = \
+                    float(wall)
     return out
+
+
+def regression_ratio(key, old_value, new_value):
+    """Degradation ratio, >1 means worse. Latency metrics degrade
+    upward (new/old); images_per_s degrades downward (old/new)."""
+    metric = key[3]
+    num, den = ((old_value, new_value) if metric == "images_per_s"
+                else (new_value, old_value))
+    return num / den if den else 1.0
 
 
 def compare(old, new, threshold, label):
@@ -84,7 +124,7 @@ def compare(old, new, threshold, label):
     shared = sorted(set(old_results) & set(new_results))
     if not shared:
         print(f"bench-regression [{label}]: no shared "
-              f"(model, kernel, batch) shapes; nothing to compare")
+              f"(model, kernel, shape) metrics; nothing to compare")
         return []
 
     print(f"bench-regression [{label}]: {old.get('sha', '?')[:12]} -> "
@@ -92,14 +132,14 @@ def compare(old, new, threshold, label):
           f"{new.get('gemm_backend')!r}, threshold {threshold:.2f}x)")
     failures = []
     for key in shared:
-        model, kernel, batch = key
-        ratio = new_results[key] / old_results[key] if old_results[key] else 1.0
+        model, kernel, shape, metric = key
+        ratio = regression_ratio(key, old_results[key], new_results[key])
         flag = ""
         if ratio > threshold:
             failures.append(key)
             flag = "  <-- REGRESSION"
-        print(f"  {model:<12} {kernel:<16} B={batch:<3} "
-              f"{old_results[key]:9.3f} -> {new_results[key]:9.3f} ms "
+        print(f"  {model:<12} {kernel:<16} {shape:<16} {metric:<12} "
+              f"{old_results[key]:9.3f} -> {new_results[key]:9.3f} "
               f"({ratio:5.2f}x){flag}")
     return failures
 

@@ -39,7 +39,7 @@ import sys
 REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 LAYER = {"base": 0, "tensor": 1, "sparse": 2, "attention": 2,
-         "runtime": 3, "model": 4}
+         "runtime": 3, "model": 4, "serve": 5}
 
 ALLOC_TOKENS = re.compile(
     r"\bnew\b|\bmalloc\s*\(|make_shared\s*[<(]|make_unique\s*<|"

@@ -1,5 +1,8 @@
 #include "attention/zoo.h"
 
+#include <cctype>
+#include <stdexcept>
+
 #include "attention/linear_attentions.h"
 #include "attention/softmax_attention.h"
 #include "attention/taylor_attention.h"
@@ -30,6 +33,45 @@ makeAttention(AttentionType type)
         return std::make_shared<LinformerAttention>();
     }
     panic("makeAttention: unknown type %d", static_cast<int>(type));
+}
+
+AttentionKernelPtr
+makeAttention(AttentionType type, float threshold)
+{
+    switch (type) {
+      case AttentionType::SangerSparse:
+        return std::make_shared<SangerSparseAttention>(threshold);
+      case AttentionType::Unified:
+        return std::make_shared<UnifiedAttention>(threshold);
+      default:
+        throw std::invalid_argument(
+            "makeAttention: kernel '" + kernelName(type) +
+            "' takes no sparsity threshold");
+    }
+}
+
+std::string
+kernelName(AttentionType type)
+{
+    return attentionTypeName(type);
+}
+
+std::optional<AttentionType>
+kernelFromName(const std::string &name)
+{
+    auto eqNoCase = [](const std::string &a, const std::string &b) {
+        if (a.size() != b.size())
+            return false;
+        for (size_t i = 0; i < a.size(); ++i)
+            if (std::tolower(static_cast<unsigned char>(a[i])) !=
+                std::tolower(static_cast<unsigned char>(b[i])))
+                return false;
+        return true;
+    };
+    for (AttentionType type : allAttentionTypes())
+        if (eqNoCase(name, kernelName(type)))
+            return type;
+    return std::nullopt;
 }
 
 std::vector<AttentionType>

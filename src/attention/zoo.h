@@ -1,16 +1,26 @@
 /**
  * @file
- * Factory for the attention zoo.
+ * Factory for the attention zoo — the one construction surface.
  *
- * Builds any AttentionKernel by type with the paper's default parameters,
- * and enumerates the zoo for the benches that sweep every kernel
- * (Table IV's accuracy-vs-FLOPs frontier and Table VI's processor
- * requirements).
+ * Builds any AttentionKernel by type with the paper's default parameters
+ * (or an explicit sparsity threshold for the sparse-branch kernels), and
+ * enumerates the zoo for the benches that sweep every kernel (Table IV's
+ * accuracy-vs-FLOPs frontier and Table VI's processor requirements).
+ *
+ * Kernel identifiers round-trip through strings: kernelName() emits the
+ * canonical id (the same display name attentionTypeName() uses in every
+ * table and bench row) and kernelFromName() parses it back,
+ * case-insensitively. Server model configs, bench rows, and tests all
+ * name kernels through this pair instead of constructing kernel classes
+ * per site, so a kernel named in a config file, a trajectory entry, and
+ * a registry key is guaranteed to be the same kernel.
  */
 
 #ifndef VITALITY_ATTENTION_ZOO_H
 #define VITALITY_ATTENTION_ZOO_H
 
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "attention/attention.h"
@@ -19,6 +29,24 @@ namespace vitality {
 
 /** Construct a kernel of the given type with the paper's defaults. */
 AttentionKernelPtr makeAttention(AttentionType type);
+
+/**
+ * Construct a sparse-branch kernel (SangerSparse or Unified) with an
+ * explicit sparsity threshold; throws std::invalid_argument for kernels
+ * without a threshold parameter — a silently ignored threshold would
+ * misname the bench row it configures.
+ */
+AttentionKernelPtr makeAttention(AttentionType type, float threshold);
+
+/**
+ * Canonical kernel id ("Softmax", "Taylor", "SangerSparse", ...) —
+ * identical to attentionTypeName(), re-exported here so the factory is
+ * a complete naming surface. Round-trips through kernelFromName().
+ */
+std::string kernelName(AttentionType type);
+
+/** Parse a kernel id, case-insensitively; nullopt on unknown text. */
+std::optional<AttentionType> kernelFromName(const std::string &name);
 
 /** All kernel types, in the order the paper's tables list them. */
 std::vector<AttentionType> allAttentionTypes();

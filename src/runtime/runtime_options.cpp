@@ -1,0 +1,125 @@
+#include "runtime/runtime_options.h"
+
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+#include "base/logging.h"
+
+namespace vitality {
+
+namespace {
+
+std::optional<size_t>
+parseThreads(const char *text)
+{
+    char *end = nullptr;
+    const long parsed = std::strtol(text, &end, 10);
+    if (end == text || *end != '\0' || parsed < 0)
+        return std::nullopt;
+    return static_cast<size_t>(parsed);
+}
+
+} // namespace
+
+bool
+RuntimeOptions::empty() const
+{
+    return !gemmBackend && !threads && !epilogueMode && !sparseMode &&
+           !quantMode;
+}
+
+RuntimeOptions
+RuntimeOptions::resolved() const
+{
+    RuntimeOptions out = *this;
+    if (!out.gemmBackend)
+        out.gemmBackend = Gemm::active();
+    if (!out.threads)
+        out.threads = Gemm::maxThreads();
+    if (!out.epilogueMode)
+        out.epilogueMode = Gemm::epilogueMode();
+    if (!out.sparseMode)
+        out.sparseMode = sparseExecMode();
+    if (!out.quantMode)
+        out.quantMode = Gemm::quantMode();
+    return out;
+}
+
+void
+RuntimeOptions::apply() const
+{
+    // Validate before mutating anything, so a throw leaves the process
+    // state untouched rather than half-applied.
+    if (gemmBackend && !Gemm::available(*gemmBackend)) {
+        throw std::invalid_argument(
+            strfmt("RuntimeOptions: backend %s is not available on "
+                   "this host",
+                   Gemm::backendName(*gemmBackend)));
+    }
+    if (gemmBackend)
+        Gemm::setActive(*gemmBackend);
+    if (threads)
+        Gemm::setMaxThreads(*threads);
+    if (epilogueMode)
+        Gemm::setEpilogueMode(*epilogueMode);
+    if (sparseMode)
+        setSparseExecMode(*sparseMode);
+    if (quantMode)
+        Gemm::setQuantMode(*quantMode);
+}
+
+RuntimeOptions
+RuntimeOptions::current()
+{
+    return RuntimeOptions{}.resolved();
+}
+
+RuntimeOptions
+RuntimeOptions::fromEnv()
+{
+    RuntimeOptions out;
+    if (const char *env = std::getenv("VITALITY_GEMM"); env && *env)
+        out.gemmBackend = Gemm::parseBackend(env);
+    if (const char *env = std::getenv("VITALITY_THREADS"); env && *env)
+        out.threads = parseThreads(env);
+    if (const char *env = std::getenv("VITALITY_EPILOGUE"); env && *env)
+        out.epilogueMode = Gemm::parseEpilogueMode(env);
+    if (const char *env = std::getenv("VITALITY_SPARSE"); env && *env)
+        out.sparseMode = parseSparseExec(env);
+    if (const char *env = std::getenv("VITALITY_QUANT"); env && *env)
+        out.quantMode = Gemm::parseQuantMode(env);
+    return out;
+}
+
+std::string
+RuntimeOptions::summary() const
+{
+    std::ostringstream os;
+    os << "gemm="
+       << (gemmBackend ? Gemm::backendName(*gemmBackend) : "-");
+    os << " threads=";
+    if (threads)
+        os << *threads;
+    else
+        os << "-";
+    os << " epilogue="
+       << (epilogueMode ? Gemm::epilogueModeName(*epilogueMode) : "-");
+    os << " sparse=" << (sparseMode ? sparseExecName(*sparseMode) : "-");
+    os << " quant="
+       << (quantMode ? Gemm::quantModeName(*quantMode) : "-");
+    return os.str();
+}
+
+RuntimeOptions::Scoped::Scoped(const RuntimeOptions &opts)
+    : saved_(RuntimeOptions::current())
+{
+    opts.apply();
+}
+
+RuntimeOptions::Scoped::~Scoped()
+{
+    saved_.apply();
+}
+
+} // namespace vitality

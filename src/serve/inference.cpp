@@ -1,0 +1,21 @@
+#include "serve/inference.h"
+
+namespace vitality {
+
+const char *
+serveErrorCodeName(ServeErrorCode code)
+{
+    switch (code) {
+    case ServeErrorCode::QueueFull:
+        return "queue_full";
+    case ServeErrorCode::Stopping:
+        return "stopping";
+    case ServeErrorCode::UnknownModel:
+        return "unknown_model";
+    case ServeErrorCode::BadRequest:
+        return "bad_request";
+    }
+    return "unknown";
+}
+
+} // namespace vitality

@@ -1,0 +1,58 @@
+#include "serve/latency_reservoir.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace vitality {
+
+LatencyReservoir::LatencyReservoir(size_t capacity, uint64_t seed)
+    : capacity_(capacity), rng_(seed)
+{
+    if (capacity_ == 0)
+        throw std::invalid_argument(
+            "LatencyReservoir: capacity must be positive");
+    samples_.reserve(capacity_);
+}
+
+void
+LatencyReservoir::record(double ms)
+{
+    ++count_;
+    if (samples_.size() < capacity_) {
+        samples_.push_back(ms);
+        return;
+    }
+    // Algorithm R: the i-th sample (1-based count_) lands in the
+    // reservoir with probability capacity/count_, displacing a
+    // uniformly random resident — which keeps the reservoir a uniform
+    // sample of everything seen.
+    const uint64_t slot = rng_.uniformInt(count_);
+    if (slot < capacity_)
+        samples_[static_cast<size_t>(slot)] = ms;
+}
+
+double
+LatencyReservoir::quantile(double q) const
+{
+    if (samples_.empty())
+        return 0.0;
+    q = std::min(1.0, std::max(0.0, q));
+    scratch_ = samples_;
+    const double pos = q * static_cast<double>(scratch_.size() - 1);
+    size_t idx = static_cast<size_t>(pos + 0.5);
+    if (idx >= scratch_.size())
+        idx = scratch_.size() - 1;
+    std::nth_element(scratch_.begin(),
+                     scratch_.begin() + static_cast<long>(idx),
+                     scratch_.end());
+    return scratch_[idx];
+}
+
+void
+LatencyReservoir::clear()
+{
+    samples_.clear();
+    count_ = 0;
+}
+
+} // namespace vitality

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Fixed-size latency reservoir for per-model percentile stats.
+ *
+ * A server that has handled millions of requests cannot keep every
+ * latency sample, but p50/p95/p99 over "recent-ish" traffic is exactly
+ * what a serving dashboard wants. Algorithm R keeps a uniform random
+ * sample of everything recorded so far in O(capacity) memory: sample i
+ * (0-based) replaces a random slot with probability capacity/(i+1).
+ * The RNG is the library's seeded xoshiro, so stats are reproducible
+ * run to run — the property every other randomized component here
+ * (weight init, bench inputs) already has.
+ *
+ * Not thread-safe: the owner (DynamicBatcher) guards it with its stats
+ * mutex. quantile() is nearest-rank over a scratch copy, so every
+ * reported percentile is an actual observed latency, not an
+ * interpolation — at serving sample counts the difference is visible
+ * in the tail.
+ */
+
+#ifndef VITALITY_SERVE_LATENCY_RESERVOIR_H
+#define VITALITY_SERVE_LATENCY_RESERVOIR_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "base/rng.h"
+
+namespace vitality {
+
+class LatencyReservoir
+{
+  public:
+    explicit LatencyReservoir(size_t capacity = 512,
+                              uint64_t seed = 0x5eedULL);
+
+    /** Record one sample (ms). */
+    void record(double ms);
+
+    /** Samples recorded over the reservoir's lifetime. */
+    uint64_t count() const { return count_; }
+
+    /** Samples currently held (min(count, capacity)). */
+    size_t size() const { return samples_.size(); }
+
+    /**
+     * Nearest-rank quantile over the held samples, q in [0, 1];
+     * 0 with no samples. O(size) via nth_element over scratch.
+     */
+    double quantile(double q) const;
+
+    /** Drop every sample and reset the lifetime count. */
+    void clear();
+
+  private:
+    size_t capacity_;
+    std::vector<double> samples_;
+    mutable std::vector<double> scratch_;
+    uint64_t count_ = 0;
+    Rng rng_;
+};
+
+} // namespace vitality
+
+#endif // VITALITY_SERVE_LATENCY_RESERVOIR_H

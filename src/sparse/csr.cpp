@@ -59,9 +59,10 @@ sparseExecMode()
         int resolved = static_cast<int>(SparseExec::Csr);
         const char *env = std::getenv("VITALITY_SPARSE");
         if (env && *env) {
-            if (std::string(env) == "dense") {
-                resolved = static_cast<int>(SparseExec::Dense);
-            } else if (std::string(env) != "csr") {
+            const std::optional<SparseExec> wanted = parseSparseExec(env);
+            if (wanted) {
+                resolved = static_cast<int>(*wanted);
+            } else {
                 warn("VITALITY_SPARSE=%s not recognized (want "
                      "dense|csr); using csr",
                      env);
@@ -85,6 +86,16 @@ const char *
 sparseExecName(SparseExec mode)
 {
     return mode == SparseExec::Dense ? "dense" : "csr";
+}
+
+std::optional<SparseExec>
+parseSparseExec(const std::string &name)
+{
+    if (name == "dense")
+        return SparseExec::Dense;
+    if (name == "csr")
+        return SparseExec::Csr;
+    return std::nullopt;
 }
 
 void

@@ -36,6 +36,8 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "sparse/mask.h"
@@ -61,6 +63,9 @@ void setSparseExecMode(SparseExec mode);
 
 /** "dense" or "csr", for bench/trajectory reporting. */
 const char *sparseExecName(SparseExec mode);
+
+/** Parse a VITALITY_SPARSE value; nullopt on unrecognized text. */
+std::optional<SparseExec> parseSparseExec(const std::string &name);
 
 /**
  * A kept-coordinate set in compressed sparse row form. Column indices

@@ -776,11 +776,11 @@ Gemm::epilogueMode()
         int resolved = static_cast<int>(EpilogueMode::Fused);
         const char *env = std::getenv("VITALITY_EPILOGUE");
         if (env && *env) {
-            if (std::string(env) == "unfused") {
-                resolved = static_cast<int>(EpilogueMode::Unfused);
-            } else if (std::string(env) == "fast") {
-                resolved = static_cast<int>(EpilogueMode::FusedFast);
-            } else if (std::string(env) != "fused") {
+            const std::optional<EpilogueMode> wanted =
+                parseEpilogueMode(env);
+            if (wanted) {
+                resolved = static_cast<int>(*wanted);
+            } else {
                 warn("VITALITY_EPILOGUE=%s not recognized (want "
                      "fused|unfused|fast); using fused",
                      env);
@@ -813,6 +813,18 @@ Gemm::epilogueModeName(EpilogueMode mode)
         return "fast";
     }
     return "unknown";
+}
+
+std::optional<Gemm::EpilogueMode>
+Gemm::parseEpilogueMode(const std::string &name)
+{
+    if (name == "fused")
+        return EpilogueMode::Fused;
+    if (name == "unfused")
+        return EpilogueMode::Unfused;
+    if (name == "fast")
+        return EpilogueMode::FusedFast;
+    return std::nullopt;
 }
 
 Gemm::QuantMode

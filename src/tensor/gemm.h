@@ -387,6 +387,10 @@ class Gemm
     /** "fused", "unfused", or "fast", for bench/trajectory reporting. */
     static const char *epilogueModeName(EpilogueMode mode);
 
+    /** Parse a VITALITY_EPILOGUE value; nullopt on unrecognized text. */
+    static std::optional<EpilogueMode>
+    parseEpilogueMode(const std::string &name);
+
     /**
      * Model-level quantized execution mode (VITALITY_QUANT, resolved
      * lazily): Off keeps every dense stage fp32; Int8 makes
