@@ -5,7 +5,13 @@
  * plus single-image end-to-end VitEncoder rows ("Encoder(<kernel>)",
  * batch 1) that run the full 12-layer stack — the fused-epilogue dense
  * projections/MLP and the intra-GEMM row-band fan-out that the
- * MHA-only rows never exercise.
+ * MHA-only rows never exercise — and ragged-path encoder rows
+ * ("RaggedEncoder(Taylor)") sweeping the token-keep ratio over
+ * {1.0, 0.7, 0.5, 0.35}. Ragged rows carry "ragged": true, their
+ * "keep_ratio", and "tokens_per_s" (input token rows per second, the
+ * throughput that stays comparable across keep ratios); the regression
+ * checker keys rows on keep_ratio/ragged so pruned and unpruned runs
+ * never gate against each other.
  *
  * For each (model, kernel, batch) triple the bench runs the pooled
  * batched multi-head forward over packed inputs and reports mean and
@@ -69,6 +75,7 @@
 #include "tensor/batch.h"
 #include "tensor/gemm.h"
 #include "tensor/matrix.h"
+#include "tensor/ragged_batch.h"
 
 using namespace vitality;
 using benchutil::appendToTrajectory;
@@ -90,6 +97,9 @@ struct Result
     double imagesPerSec; // batch / median wall seconds
     double gflopsPerSec; // analytic flops x batch / median wall
     double maskDensity;  // measured sparse-branch density; -1 = n/a
+    bool ragged = false; // ran through the variable-token path
+    double keepRatio = -1.0;    // token-keep ratio; -1 = no pruning sweep
+    double tokensPerSec = -1.0; // input token rows / s; -1 = n/a
     OpCounts counts;     // per image (all heads, one layer)
 };
 
@@ -157,6 +167,9 @@ entryJson(const std::vector<Result> &results, size_t pool_threads)
            << ", \"images_per_s\": " << r.imagesPerSec
            << ", \"gflops_per_s\": " << r.gflopsPerSec
            << ", \"mask_density\": " << r.maskDensity
+           << ", \"ragged\": " << (r.ragged ? "true" : "false")
+           << ", \"keep_ratio\": " << r.keepRatio
+           << ", \"tokens_per_s\": " << r.tokensPerSec
            << ", \"gflops_per_image\": "
            << static_cast<double>(r.counts.flops()) * 1e-9
            << ", \"ops_per_image\": {\"mul\": " << r.counts.mul
@@ -317,6 +330,71 @@ main(int argc, char **argv)
                    "  %7.2f GFLOP/s",
                    cfg.name.c_str(), res.kernel.c_str(), median_ms,
                    res.imagesPerSec, res.gflopsPerSec);
+        }
+
+        // Ragged encoder rows under the token-keep sweep: the same
+        // single image through forwardRagged with an explicit staged
+        // schedule (VitConfig::withTokenKeep overrides the global
+        // knob). keep=1.0 is the ragged-overhead control — bitwise
+        // equal to Encoder(Taylor) above — and the pruned rows are the
+        // variable-token payoff the trajectory tracks via tokens/s.
+        for (const float keep : {1.0f, 0.7f, 0.5f, 0.35f}) {
+            VitEncoder encoder(cfg.withTokenKeep(keep),
+                               makeAttention(AttentionType::Taylor),
+                               0x5eed);
+            const Matrix *ptr = &qs[0];
+            const RaggedBatch in = RaggedBatch::fromMatrices(&ptr, 1);
+            RaggedBatch out;
+            encoder.forwardRaggedInto(in, pool, out); // warmup
+            std::vector<double> laps(static_cast<size_t>(reps));
+            for (int r = 0; r < reps; ++r) {
+                const double t0 = nowMs();
+                encoder.forwardRaggedInto(in, pool, out);
+                laps[static_cast<size_t>(r)] = nowMs() - t0;
+            }
+            double mean_ms = 0.0;
+            for (double lap : laps)
+                mean_ms += lap;
+            mean_ms /= reps;
+            const double median_ms = median(laps);
+
+            Result res;
+            res.model = cfg.name;
+            res.kernel = "RaggedEncoder(Taylor)";
+            res.tokens = cfg.tokens;
+            res.heads = cfg.heads;
+            res.headDim = cfg.headDim();
+            res.batch = 1;
+            res.reps = reps;
+            res.wallMsMean = mean_ms;
+            res.wallMsMedian = median_ms;
+            res.imagesPerSec =
+                median_ms > 0.0 ? 1.0 / (median_ms * 1e-3) : 0.0;
+            res.maskDensity = -1.0;
+            res.ragged = true;
+            res.keepRatio = keep;
+            // Input token rows per second: the throughput that stays
+            // comparable across keep ratios (the request size is fixed;
+            // pruning only shrinks the work).
+            res.tokensPerSec =
+                median_ms > 0.0
+                    ? static_cast<double>(cfg.tokens) / (median_ms * 1e-3)
+                    : 0.0;
+            // Analytic counts are for the UNPRUNED program, so the
+            // per-second figure under keep < 1 reads as effective
+            // throughput (work avoided shows up as extra speed).
+            res.counts = encoder.opCounts();
+            res.gflopsPerSec =
+                median_ms > 0.0
+                    ? static_cast<double>(res.counts.flops()) /
+                          (median_ms * 1e6)
+                    : 0.0;
+            results.push_back(res);
+
+            inform("%-10s RaggedEnc keep=%.2f  %8.3f ms/img   "
+                   "%8.1f img/s  %9.1f tok/s",
+                   cfg.name.c_str(), static_cast<double>(keep),
+                   median_ms, res.imagesPerSec, res.tokensPerSec);
         }
 
         for (const AttentionKernelPtr &kernel : kernels) {

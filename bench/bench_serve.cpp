@@ -1,9 +1,11 @@
 /**
  * @file
- * Serving-engine benchmark: open-loop synthetic load through
- * ModelServer/DynamicBatcher, reporting the latency distribution
- * (p50/p95/p99 of client-observed total latency) and sustained
- * images/s per batching policy.
+ * Serving-engine benchmark: open-loop synthetic load with MIXED
+ * token-count requests through ModelServer/DynamicBatcher, reporting
+ * the latency distribution (p50/p95/p99 of client-observed total
+ * latency), sustained images/s, and served tokens/s per batching
+ * policy and per token-keep policy (keep_ratio 1.0 vs 0.5, pinned on
+ * the model via RuntimeOptions.tokenKeep).
  *
  * For each (kernel, policy) sweep the bench first calibrates the
  * single-image forward time of the model, then submits `requests`
@@ -36,6 +38,7 @@
  *                    ("taylor" sweeps only Serve(Taylor))
  */
 
+#include <algorithm>
 #include <cctype>
 #include <chrono>
 #include <cstdio>
@@ -80,7 +83,10 @@ struct ServeResult
     size_t maxBatchObserved;
     double offeredPerSec; // open-loop arrival rate
     double p50Ms, p95Ms, p99Ms;
-    double imagesPerSec; // served / sweep wall
+    double imagesPerSec;  // served / sweep wall
+    double keepRatio;     // token-keep policy of the served model
+    double tokensPerSec;  // served input token rows / s (batcher stat)
+    uint64_t tokensServed; // input token rows across served requests
 };
 
 std::string
@@ -94,7 +100,7 @@ lowered(std::string s)
 /** One sweep: one server, one model, one policy, open-loop load. */
 ServeResult
 runSweep(const VitConfig &preset, AttentionType kernel,
-         const BatchPolicy &policy, size_t requests,
+         const BatchPolicy &policy, float keep, size_t requests,
          const std::vector<Matrix> &inputs, double calibratedMsPerImg)
 {
     ModelServer server;
@@ -102,6 +108,11 @@ runSweep(const VitConfig &preset, AttentionType kernel,
     mc.preset = preset;
     mc.kernel = kernel;
     mc.policy = policy;
+    // keep < 1 pins a token-keep policy on the model (RuntimeOptions
+    // ride-along); 1.0 leaves the options empty so the unpruned sweep
+    // adds no dispatch-gate locking.
+    if (keep < 1.0f)
+        mc.options.tokenKeep = keep;
     const std::string key = server.addModel(mc);
 
     // Warm the serving path (first forward sizes every buffer).
@@ -159,6 +170,9 @@ runSweep(const VitConfig &preset, AttentionType kernel,
                          ? static_cast<double>(totals.size()) /
                                (wallMs * 1e-3)
                          : 0.0;
+    r.keepRatio = static_cast<double>(keep);
+    r.tokensPerSec = stats.tokensPerSec;
+    r.tokensServed = stats.tokensServed;
     return r;
 }
 
@@ -197,7 +211,10 @@ entryJson(const std::vector<ServeResult> &results, size_t pool_threads)
            << ", \"p50_ms\": " << r.p50Ms
            << ", \"p95_ms\": " << r.p95Ms
            << ", \"p99_ms\": " << r.p99Ms
-           << ", \"images_per_s\": " << r.imagesPerSec << "}"
+           << ", \"images_per_s\": " << r.imagesPerSec
+           << ", \"keep_ratio\": " << r.keepRatio
+           << ", \"tokens_served\": " << r.tokensServed
+           << ", \"tokens_per_s\": " << r.tokensPerSec << "}"
            << (i + 1 < results.size() ? "," : "") << "\n";
     }
     os << "  ]\n}";
@@ -242,14 +259,17 @@ main(int argc, char **argv)
     policies[1].maxWaitMicros = 2000;
     policies[1].queueCapacity = 256;
 
-    // Shared request pool: a handful of distinct inputs cycled
-    // round-robin (results are per-request-independent; the inputs
-    // only need realistic shapes, not diversity).
+    // Shared request pool: distinct inputs cycled round-robin with
+    // MIXED token counts (full frame, 3/4, 1/2, 1/4 crops) — the
+    // ragged dispatch packs them into one forward, and tokens/s is
+    // the throughput row that stays comparable across the mix.
     Rng rng(0x5e47e ^ preset.dModel);
+    const size_t lens[] = {preset.tokens, (3 * preset.tokens) / 4,
+                           preset.tokens / 2, preset.tokens / 4};
     std::vector<Matrix> inputs;
     for (size_t i = 0; i < 8; ++i)
-        inputs.push_back(
-            Matrix::randn(preset.tokens, preset.dModel, rng, 0.0f, 1.0f));
+        inputs.push_back(Matrix::randn(std::max<size_t>(1, lens[i % 4]),
+                                       preset.dModel, rng, 0.0f, 1.0f));
 
     std::vector<ServeResult> results;
     size_t poolThreads = 0;
@@ -276,18 +296,28 @@ main(int argc, char **argv)
                preset.name.c_str(), kernelName(kernel).c_str(),
                calibrated, 700.0 / calibrated);
 
-        for (const BatchPolicy &policy : policies) {
-            const ServeResult r = runSweep(preset, kernel, policy,
-                                           requests, inputs, calibrated);
-            inform("%-10s %-16s max_batch=%zu wait=%lluus  p50=%.2f "
-                   "p95=%.2f p99=%.2f ms  %.1f img/s  (%zu served, "
-                   "%zu rejected, %llu batches, largest %zu)",
-                   r.model.c_str(), r.kernel.c_str(), r.maxBatch,
-                   static_cast<unsigned long long>(r.maxWaitMicros),
-                   r.p50Ms, r.p95Ms, r.p99Ms, r.imagesPerSec, r.served,
-                   r.rejected, static_cast<unsigned long long>(r.batches),
-                   r.maxBatchObserved);
-            results.push_back(r);
+        // The keep-ratio axis: 1.0 (no pruning) vs the paper-style 0.5
+        // policy pinned per model, under each batching policy. Rows
+        // carry keep_ratio, so the regression gate never compares
+        // across policies.
+        for (const float keep : {1.0f, 0.5f}) {
+            for (const BatchPolicy &policy : policies) {
+                const ServeResult r =
+                    runSweep(preset, kernel, policy, keep, requests,
+                             inputs, calibrated);
+                inform("%-10s %-16s keep=%.2f max_batch=%zu wait=%lluus"
+                       "  p50=%.2f p95=%.2f p99=%.2f ms  %.1f img/s  "
+                       "%.1f tok/s  (%zu served, %zu rejected, "
+                       "%llu batches, largest %zu)",
+                       r.model.c_str(), r.kernel.c_str(), r.keepRatio,
+                       r.maxBatch,
+                       static_cast<unsigned long long>(r.maxWaitMicros),
+                       r.p50Ms, r.p95Ms, r.p99Ms, r.imagesPerSec,
+                       r.tokensPerSec, r.served, r.rejected,
+                       static_cast<unsigned long long>(r.batches),
+                       r.maxBatchObserved);
+                results.push_back(r);
+            }
         }
     }
 

@@ -4,10 +4,12 @@
 Compares the newest run entry against prior *comparable* entries and
 fails (exit 1) if any gated metric regressed by more than the threshold
 (default +20%) at any (model, kernel, shape) present in both. Kernel
-rows (bench_attention) gate median wall-clock per batch size; serve
-rows (bench_serve) gate the p50/p95/p99 client-observed latency and
-sustained images_per_s per batching policy (max_batch, max_wait_us) —
-see keyed_results() for why the policy is part of the key. Two entries are comparable when their full execution
+rows (bench_attention) gate median wall-clock per batch size (ragged
+rows additionally gate tokens_per_s, inverted); serve rows
+(bench_serve) gate the p50/p95/p99 client-observed latency and
+sustained images_per_s / tokens_per_s per batching policy (max_batch,
+max_wait_us) and token-keep policy (keep_ratio) — see keyed_results()
+for why the policies are part of the key. Two entries are comparable when their full execution
 configuration matches — gemm_backend, pool_threads, gemm_threads (the
 intra-GEMM row-band width), and epilogue mode: a scalar run is expected
 to be slower than an avx2 run, a single-thread run slower than a
@@ -74,20 +76,42 @@ def comparable(old, new):
 # blowup with a flat p50 is a queueing regression worth catching).
 SERVE_PERCENTILES = ("p50_ms", "p95_ms", "p99_ms")
 
+# Throughput metrics degrade DOWNWARD: the gate inverts the ratio so
+# "lower than before" flags, the opposite of the latency metrics.
+INVERTED_METRICS = ("images_per_s", "tokens_per_s")
+
+
+def keep_suffix(r):
+    """Token-keep shape-key suffix (PR 9): a keep=0.5 run prunes most
+    of its work away and would mask regressions in (or be flagged
+    against) an unpruned run at the same shape, so the keep ratio — and
+    the ragged-vs-uniform execution mode, which differ in dispatch even
+    at keep=1.0 — are part of the key. Legacy rows predating the fields
+    carry no suffix and only compare against each other."""
+    parts = []
+    if r.get("ragged"):
+        parts.append("ragged")
+    keep = r.get("keep_ratio")
+    if keep is not None and keep >= 0:
+        parts.append(f"keep={keep:g}")
+    return ("," + ",".join(parts)) if parts else ""
+
 
 def keyed_results(entry):
     """Map (model, kernel, shape, metric) -> value.
 
-    Kernel rows (bench_attention) carry one metric — median wall-clock
-    — keyed on the batch size. Serve rows (bench_serve, kernel
-    "Serve(<name>)", recognized by their p50_ms column) carry a
-    client-observed latency distribution plus sustained throughput;
-    each percentile and images_per_s is its own gated metric, keyed on
-    the batching policy (max_batch, max_wait_us) — the policy is part
+    Kernel rows (bench_attention) carry median wall-clock — keyed on
+    the batch size plus the keep/ragged suffix — and, for ragged rows,
+    tokens_per_s (gated inverted: lower is worse). Serve rows
+    (bench_serve, kernel "Serve(<name>)", recognized by their p50_ms
+    column) carry a client-observed latency distribution plus sustained
+    throughput; each percentile, images_per_s, and tokens_per_s is its
+    own gated metric, keyed on the batching policy (max_batch,
+    max_wait_us) and the model's token-keep policy — the policy is part
     of the shape the way batch is for kernel rows: a 2 ms-window run
     sits on a different latency/throughput point than a no-batching
-    run, and comparing across the two would flag the policy, not the
-    code.
+    run, and a keep=0.5 model on a different one than an unpruned
+    model; comparing across either would flag the policy, not the code.
     """
     out = {}
     for r in entry.get("results", []):
@@ -96,23 +120,26 @@ def keyed_results(entry):
             continue
         if r.get("p50_ms") is not None:
             shape = (f"mb={r.get('max_batch')},"
-                     f"wait={r.get('max_wait_us')}us")
-            for metric in SERVE_PERCENTILES + ("images_per_s",):
+                     f"wait={r.get('max_wait_us')}us" + keep_suffix(r))
+            for metric in SERVE_PERCENTILES + INVERTED_METRICS:
                 if r.get(metric) is not None:
                     out[(model, kernel, shape, metric)] = float(r[metric])
         else:
+            shape = f"B={r.get('batch')}" + keep_suffix(r)
             wall = r.get("wall_ms_median", r.get("wall_ms_mean"))
             if r.get("batch") is not None and wall is not None:
-                out[(model, kernel, f"B={r['batch']}", "wall_ms")] = \
-                    float(wall)
+                out[(model, kernel, shape, "wall_ms")] = float(wall)
+            tok = r.get("tokens_per_s")
+            if r.get("batch") is not None and tok is not None and tok >= 0:
+                out[(model, kernel, shape, "tokens_per_s")] = float(tok)
     return out
 
 
 def regression_ratio(key, old_value, new_value):
     """Degradation ratio, >1 means worse. Latency metrics degrade
-    upward (new/old); images_per_s degrades downward (old/new)."""
+    upward (new/old); throughput metrics degrade downward (old/new)."""
     metric = key[3]
-    num, den = ((old_value, new_value) if metric == "images_per_s"
+    num, den = ((old_value, new_value) if metric in INVERTED_METRICS
                 else (new_value, old_value))
     return num / den if den else 1.0
 

@@ -17,7 +17,10 @@ Checks (each violation is reported as file:line and fails the run):
      through Gemm::multiply, which is what keeps dispatch, banding,
      and the epilogue contract in one place.
   3. Every VITALITY_* environment knob read via getenv() in src/, and
-     every VITALITY_* CMake option, is documented in README.md.
+     every VITALITY_* CMake option, is documented in README.md — and
+     (3b) every such env knob is also resolved by
+     RuntimeOptions::fromEnv, so the serving layer's per-model pinned
+     options never lag the knob set.
   4. AVX2 translation units are paired with a scalar fallback: every
      src/**/X_avx2.cpp has a sibling X.cpp, and AVX2 intrinsics
      (outside comments) appear only in *_avx2.cpp files or in headers
@@ -190,6 +193,37 @@ def check_knobs_documented():
             report(path, line, f"knob {name} is not documented in README.md")
 
 
+# --- Rule 3b: every VITALITY_* knob rides RuntimeOptions ----------------
+
+def check_knobs_in_runtime_options():
+    """Every VITALITY_* environment knob read anywhere in src/ must
+    also be resolved by RuntimeOptions::fromEnv (runtime_options.cpp):
+    RuntimeOptions is the one-struct surface the serving layer pins
+    per model, and a knob that exists only as a scattered getenv read
+    silently falls out of that surface."""
+    ro_path = os.path.join(REPO, "src", "runtime", "runtime_options.cpp")
+    text = open(ro_path).read()
+    m = re.search(r"RuntimeOptions::fromEnv\s*\(\s*\)\s*\{", text)
+    if not m:
+        report(ro_path, 1, "RuntimeOptions::fromEnv not found")
+        return
+    depth, i = 1, m.end()
+    while i < len(text) and depth:
+        if text[i] == "{":
+            depth += 1
+        elif text[i] == "}":
+            depth -= 1
+        i += 1
+    body = text[m.end():i]
+    for path in src_files(".cpp"):
+        src = open(path).read()
+        for k in re.finditer(r'getenv\("(VITALITY_[A-Z0-9_]+)"\)', src):
+            if k.group(1) not in body:
+                report(path, line_of(src, k.start()),
+                       f"knob {k.group(1)} is not resolved by "
+                       "RuntimeOptions::fromEnv")
+
+
 # --- Rule 4: AVX2 TU pairing and intrinsic containment ------------------
 
 AVX2_HEADERS = {"avx2_math.h"}
@@ -271,6 +305,7 @@ def main():
     check_hot_path_allocations()
     check_backend_containment()
     check_knobs_documented()
+    check_knobs_in_runtime_options()
     check_avx2_pairing()
     check_layering()
     check_header_guards()

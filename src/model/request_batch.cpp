@@ -33,9 +33,24 @@ packRequests(Batch &dst, const Matrix *const *inputs, size_t n)
 }
 
 void
+packRequests(RaggedBatch &dst, const Matrix *const *inputs, size_t n)
+{
+    // RaggedBatch::packFrom carries the full contract (non-null, equal
+    // columns, rows >= 1); this wrapper exists so the serving layer
+    // uses one packRequests/unpackImage surface for both shapes.
+    dst.packFrom(inputs, n);
+}
+
+void
 unpackImage(const Batch &src, size_t i, Matrix &dst)
 {
     dst.copyFrom(src.at(i));
+}
+
+void
+unpackImage(const RaggedBatch &src, size_t i, Matrix &dst)
+{
+    src.unpackImage(i, dst);
 }
 
 } // namespace vitality

@@ -23,6 +23,7 @@
 
 #include "tensor/batch.h"
 #include "tensor/matrix.h"
+#include "tensor/ragged_batch.h"
 
 namespace vitality {
 
@@ -36,10 +37,23 @@ namespace vitality {
 void packRequests(Batch &dst, const Matrix *const *inputs, size_t n);
 
 /**
+ * Ragged twin: pack n MIXED-token-count requests into one contiguous
+ * RaggedBatch (resized, storage recycled). Inputs must be non-null
+ * with equal non-zero columns and rows >= 1 each — token-count
+ * diversity is the point; only the embedding width is fixed. The
+ * serving path feeds this to VitEncoder::forwardRaggedInto.
+ */
+void packRequests(RaggedBatch &dst, const Matrix *const *inputs,
+                  size_t n);
+
+/**
  * Copy image i of src into dst (resized, recycling storage). Throws
  * std::out_of_range on a bad index.
  */
 void unpackImage(const Batch &src, size_t i, Matrix &dst);
+
+/** Ragged twin of unpackImage; dst gets image i's surviving tokens. */
+void unpackImage(const RaggedBatch &src, size_t i, Matrix &dst);
 
 } // namespace vitality
 

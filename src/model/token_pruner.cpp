@@ -1,0 +1,157 @@
+#include "model/token_pruner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <stdexcept>
+
+#include "base/logging.h"
+
+namespace vitality {
+
+size_t
+TokenPruner::keptTokens(size_t n, float keep)
+{
+    if (n <= 1 || keep >= 1.0f)
+        return n;
+    const auto wanted = static_cast<size_t>(
+        std::lround(static_cast<double>(keep) *
+                    static_cast<double>(n - 1)));
+    const size_t nonCls = std::min(std::max<size_t>(wanted, 1), n - 1);
+    return 1 + nonCls;
+}
+
+void
+TokenPruner::buildSchedule(std::vector<float> &out, size_t layers,
+                           float keep)
+{
+    if (!(keep > 0.0f) || keep > 1.0f) {
+        throw std::invalid_argument(
+            strfmt("TokenPruner: keep ratio %g outside (0, 1]",
+                   static_cast<double>(keep)));
+    }
+    out.assign(layers, 1.0f);
+    if (keep >= 1.0f || layers == 0)
+        return;
+    const size_t quarters[3] = {layers / 4, layers / 2,
+                                (3 * layers) / 4};
+    for (size_t p : quarters) {
+        // The final layer's pruning would only shrink the output no
+        // later stage consumes; skip it (p==0 is layer 0, fine).
+        if (p + 1 < layers)
+            out[p] = keep;
+    }
+}
+
+size_t
+TokenPruner::rankImage(const RaggedBatch &q, const RaggedBatch &k,
+                       size_t image, size_t heads, float keep)
+{
+    const size_t n = q.rowsOf(image);
+    const size_t packed = q.cols();
+    const size_t dh = packed / heads;
+    const float invSqrtDh =
+        1.0f / std::sqrt(static_cast<float>(dh));
+
+    // CLS-attention mass: per head, the CLS row of the softmax map,
+    // summed across heads. Computed with the usual max-subtracted
+    // exact softmax, so the ranking is deterministic.
+    scores_.assign(n, 0.0f);
+    logits_.resize(n);
+    order_.resize(n > 1 ? n - 1 : 0);
+    for (size_t h = 0; h < heads; ++h) {
+        const size_t c0 = h * dh;
+        const float *qCls = q.rowPtr(image, 0) + c0;
+        float maxLogit = -std::numeric_limits<float>::infinity();
+        for (size_t j = 0; j < n; ++j) {
+            const float *kj = k.rowPtr(image, j) + c0;
+            float dot = 0.0f;
+            for (size_t c = 0; c < dh; ++c)
+                dot += qCls[c] * kj[c];
+            logits_[j] = dot * invSqrtDh;
+            maxLogit = std::max(maxLogit, logits_[j]);
+        }
+        float denom = 0.0f;
+        for (size_t j = 0; j < n; ++j) {
+            logits_[j] = std::exp(logits_[j] - maxLogit);
+            denom += logits_[j];
+        }
+        const float invDenom = 1.0f / denom;
+        for (size_t j = 0; j < n; ++j)
+            scores_[j] += logits_[j] * invDenom;
+    }
+
+    const size_t kept = keptTokens(n, keep);
+    const size_t keptNonCls = kept - 1;
+    for (size_t j = 0; j + 1 < n; ++j)
+        order_[j] = static_cast<uint32_t>(j + 1);
+    // Highest mass first; ties to the lower index so the selection is
+    // a deterministic function of the scores.
+    std::nth_element(order_.begin(),
+                     order_.begin() +
+                         static_cast<std::ptrdiff_t>(keptNonCls),
+                     order_.end(), [this](uint32_t a, uint32_t b) {
+                         if (scores_[a] != scores_[b])
+                             return scores_[a] > scores_[b];
+                         return a < b;
+                     });
+    // Kept tokens keep their original ascending order.
+    std::sort(order_.begin(),
+              order_.begin() + static_cast<std::ptrdiff_t>(keptNonCls));
+    return kept;
+}
+
+void
+TokenPruner::prune(RaggedBatch &x, const RaggedBatch &q,
+                   const RaggedBatch &k, size_t heads, float keep)
+{
+    if (keep >= 1.0f)
+        return;
+    if (!(keep > 0.0f))
+        throw std::invalid_argument(
+            strfmt("TokenPruner: keep ratio %g outside (0, 1]",
+                   static_cast<double>(keep)));
+    if (heads == 0 || q.cols() == 0 || q.cols() % heads != 0)
+        throw std::invalid_argument(
+            strfmt("TokenPruner: %zu Q/K columns not divisible by %zu "
+                   "heads",
+                   q.cols(), heads));
+    if (q.offsets() != x.offsets() || k.offsets() != x.offsets())
+        throw std::invalid_argument(
+            strfmt("TokenPruner: Q/K structure %s / %s does not match "
+                   "activations %s",
+                   q.shapeStr().c_str(), k.shapeStr().c_str(),
+                   x.shapeStr().c_str()));
+
+    const size_t images = x.size();
+    const size_t cols = x.cols();
+    keptRows_.resize(images);
+
+    // Compact kept rows toward the front of the shared buffer in one
+    // ascending pass: every destination row index is <= its source row
+    // index (offsets only shrink and kept indices are ascending), so
+    // the moves never clobber unread rows.
+    float *base = x.buffer().data();
+    size_t dst = 0;
+    for (size_t i = 0; i < images; ++i) {
+        const size_t src0 = x.offset(i);
+        const size_t kept = rankImage(q, k, i, heads, keep);
+        keptRows_[i] = kept;
+        // CLS first, then the kept non-CLS tokens from order_.
+        if (dst != src0)
+            std::memcpy(base + dst * cols, base + src0 * cols,
+                        cols * sizeof(float));
+        ++dst;
+        for (size_t j = 0; j + 1 < kept; ++j) {
+            const size_t src = src0 + order_[j];
+            if (dst != src)
+                std::memcpy(base + dst * cols, base + src * cols,
+                            cols * sizeof(float));
+            ++dst;
+        }
+    }
+    x.shrinkRows(keptRows_.data());
+}
+
+} // namespace vitality

@@ -3,25 +3,34 @@
 #include <stdexcept>
 
 #include "base/logging.h"
+#include "model/token_pruner.h"
 
 namespace vitality {
 
 VitConfig
 VitConfig::deitTiny()
 {
-    return {"DeiT-Tiny", 12, 3, 192, 197, 768};
+    return {"DeiT-Tiny", 12, 3, 192, 197, 768, {}};
 }
 
 VitConfig
 VitConfig::deitSmall()
 {
-    return {"DeiT-Small", 12, 6, 384, 197, 1536};
+    return {"DeiT-Small", 12, 6, 384, 197, 1536, {}};
 }
 
 VitConfig
 VitConfig::deitBase()
 {
-    return {"DeiT-Base", 12, 12, 768, 197, 3072};
+    return {"DeiT-Base", 12, 12, 768, 197, 3072, {}};
+}
+
+VitConfig
+VitConfig::withTokenKeep(float keep) const
+{
+    VitConfig out = *this;
+    TokenPruner::buildSchedule(out.tokenKeep, layers, keep);
+    return out;
 }
 
 std::string
@@ -42,6 +51,23 @@ VitConfig::validate() const
         throw std::invalid_argument(
             strfmt("VitConfig %s: dModel %zu not divisible by %zu heads",
                    name.c_str(), dModel, heads));
+    }
+    if (!tokenKeep.empty()) {
+        if (tokenKeep.size() != layers) {
+            throw std::invalid_argument(
+                strfmt("VitConfig %s: tokenKeep has %zu entries for "
+                       "%zu layers",
+                       name.c_str(), tokenKeep.size(), layers));
+        }
+        for (size_t l = 0; l < tokenKeep.size(); ++l) {
+            if (!(tokenKeep[l] > 0.0f) || tokenKeep[l] > 1.0f) {
+                throw std::invalid_argument(
+                    strfmt("VitConfig %s: tokenKeep[%zu] = %g outside "
+                           "(0, 1]",
+                           name.c_str(), l,
+                           static_cast<double>(tokenKeep[l])));
+            }
+        }
     }
 }
 

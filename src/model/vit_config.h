@@ -14,6 +14,7 @@
 
 #include <cstddef>
 #include <string>
+#include <vector>
 
 namespace vitality {
 
@@ -27,8 +28,28 @@ struct VitConfig
     size_t tokens;     ///< Sequence length n (196 patches + class token).
     size_t mlpHidden;  ///< MLP hidden width (4 x dModel for DeiT).
 
+    /**
+     * Per-layer token keep-ratio schedule for the ragged forward path:
+     * after running layer l, the token pruner keeps tokenKeep[l] of
+     * each image's non-CLS tokens (ranked by CLS-attention mass; see
+     * model/token_pruner.h). Empty (the default) defers to the global
+     * VITALITY_TOKENS knob expanded over the default staged schedule;
+     * non-empty must have exactly `layers` entries in (0, 1]
+     * (validate() enforces this). 1.0 entries prune nothing. The
+     * uniform Batch/Matrix forward paths ignore the schedule entirely.
+     */
+    std::vector<float> tokenKeep;
+
     /** Per-head dimension d_h = dModel / heads (64 for all DeiT sizes). */
     size_t headDim() const { return dModel / heads; }
+
+    /**
+     * This preset with the DynamicViT-style staged schedule installed:
+     * keep `keep` of the surviving non-CLS tokens after each quarter
+     * of the stack (layers 3/6/9 for L=12), never after the final
+     * layer. keep must be in (0, 1].
+     */
+    VitConfig withTokenKeep(float keep) const;
 
     /** DeiT-Tiny: L=12, H=3, d=192, n=197. */
     static VitConfig deitTiny();

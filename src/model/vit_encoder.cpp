@@ -6,6 +6,7 @@
 #include "base/logging.h"
 #include "base/rng.h"
 #include "runtime/call_guard.h"
+#include "runtime/runtime_options.h"
 #include "tensor/gemm.h"
 #include "tensor/ops.h"
 
@@ -259,6 +260,86 @@ VitEncoder::forwardBatch(const Batch &x, ThreadPool &pool)
 {
     Batch out;
     forwardBatchInto(x, pool, out);
+    return out;
+}
+
+void
+VitEncoder::forwardRaggedInto(const RaggedBatch &x_in, ThreadPool &pool,
+                              RaggedBatch &out)
+{
+    CallGuard guard(inFlight_, kConcurrentCall);
+    if (x_in.empty())
+        throw std::invalid_argument("VitEncoder: empty ragged batch");
+    if (x_in.cols() != cfg_.dModel) {
+        throw std::invalid_argument(
+            strfmt("VitEncoder: ragged batch %s, expected %zu columns",
+                   x_in.shapeStr().c_str(), cfg_.dModel));
+    }
+    VITALITY_CHECK(&out != &x_in,
+                   "VitEncoder: ragged out aliases the input");
+    VITALITY_DCHECK(
+        check::allFinite(x_in.buffer().data(),
+                         x_in.totalRows() * x_in.cols()),
+        "VitEncoder: non-finite ragged input");
+
+    const size_t d = cfg_.dModel;
+    const size_t h = cfg_.mlpHidden;
+
+    // Effective keep schedule: the config's explicit per-layer vector
+    // wins; otherwise the global VITALITY_TOKENS knob expanded over
+    // the default staged schedule (all 1.0 when the knob is 1.0).
+    if (!cfg_.tokenKeep.empty())
+        keepSched_ = cfg_.tokenKeep;
+    else
+        TokenPruner::buildSchedule(keepSched_, cfg_.layers,
+                                   tokenKeepRatio());
+
+    rx_.copyFrom(x_in);
+
+    const bool int8 = Gemm::quantMode() == Gemm::QuantMode::Int8;
+    if (int8)
+        ensureQuantizedWeights();
+
+    for (size_t l = 0; l < layers_.size(); ++l) {
+        const LayerWeights &w = layers_[l];
+        const QuantizedLayerWeights *qw = int8 ? &qlayers_[l] : nullptr;
+        const size_t total = rx_.totalRows();
+        rnormed_.resize(total, d);
+        rhidden_.resize(total, h);
+        rq_.resizeLike(rx_);
+        rk_.resizeLike(rx_);
+        rv_.resizeLike(rx_);
+        // Dense stages run over the whole concatenated buffer as one
+        // fused GEMM per stage: layer norm, the projections, the GELU
+        // and the int8 per-row activation quantization are all
+        // row-independent, and GEMM row results are bitwise-independent
+        // of which other rows share the multiply — so each image's
+        // floats match its standalone forward exactly. Issued from the
+        // calling thread, the GEMM fans row bands across the pool.
+        attentionPre(w, qw, rx_.buffer(), rnormed_, rq_.buffer(),
+                     rk_.buffer(), rv_.buffer());
+        // Attention is the one stage that needs image boundaries:
+        // B x heads ragged work items, each at its own token count.
+        mha_.forwardRaggedInto(pool, rq_, rk_, rv_, rattn_);
+        attentionPost(w, qw, rx_.buffer(), rattn_.buffer());
+        mlpBlock(w, qw, rx_.buffer(), rnormed_, rhidden_);
+        // Progressive pruning: rank by this layer's CLS-attention mass
+        // (from the packed Q/K the layer just used) and compact the
+        // survivors in place. keep=1.0 layers skip the pruner, which
+        // is what keeps the unpruned ragged path bitwise-identical to
+        // the uniform one.
+        if (keepSched_[l] < 1.0f)
+            pruner_.prune(rx_, rq_, rk_, cfg_.heads, keepSched_[l]);
+    }
+
+    out.copyFrom(rx_);
+}
+
+RaggedBatch
+VitEncoder::forwardRagged(const RaggedBatch &x, ThreadPool &pool)
+{
+    RaggedBatch out;
+    forwardRaggedInto(x, pool, out);
     return out;
 }
 

@@ -35,11 +35,13 @@
 #include <vector>
 
 #include "attention/attention.h"
+#include "model/token_pruner.h"
 #include "model/vit_config.h"
 #include "runtime/multi_head_attention.h"
 #include "runtime/thread_pool.h"
 #include "tensor/batch.h"
 #include "tensor/quantized_matrix.h"
+#include "tensor/ragged_batch.h"
 #include "tensor/workspace.h"
 
 namespace vitality {
@@ -126,6 +128,38 @@ class VitEncoder
     Batch forwardBatch(const Batch &x, ThreadPool &pool);
 
     /**
+     * Run the full encoder stack over a ragged batch of mixed
+     * token-count images, with progressive token pruning.
+     *
+     * Dense stages (layer norms, QKV/output projections, MLP, and the
+     * int8 per-row activation quantization) run over the WHOLE
+     * concatenated token buffer as single fused GEMM calls — every one
+     * of those stages is row-independent, and the GEMM row-band
+     * guarantee makes each row's result bitwise-independent of the
+     * other rows present — while attention fans B x heads ragged work
+     * items so every kernel runs at its image's own token count.
+     *
+     * Between layers a TokenPruner applies the keep-ratio schedule:
+     * cfg.tokenKeep when non-empty, else the global VITALITY_TOKENS
+     * knob expanded over the default staged schedule
+     * (TokenPruner::buildSchedule). out's per-image row counts are the
+     * SURVIVING token counts, which may be smaller than the input's.
+     *
+     * Parity contract (test-asserted): with an all-1.0 schedule the
+     * pruner never runs and image i of out is bitwise-identical to
+     * forwardInto(x[i]) / the uniform forwardBatch path; any image's
+     * result is bitwise-independent of what it shares the batch with.
+     *
+     * @param x Ragged batch; cols must equal dModel, any rows >= 1.
+     * @param pool Pool dense row bands and attention items fan across.
+     * @param out Resized; must not alias x.
+     */
+    void forwardRaggedInto(const RaggedBatch &x, ThreadPool &pool,
+                           RaggedBatch &out);
+
+    RaggedBatch forwardRagged(const RaggedBatch &x, ThreadPool &pool);
+
+    /**
      * Attention-only rollup: kernel per-head opCounts(tokens, headDim)
      * x heads x layers — the quantity the paper's Eq. (1)-(3) and
      * Table IV state per model.
@@ -160,6 +194,17 @@ class VitEncoder
      * accumulate straight into bx_ through the fused GEMM epilogue.
      */
     Batch bx_, bnormed_, bq_, bk_, bv_, battn_, bhidden_;
+    /**
+     * Ragged-path activations, recycled across forwardRagged calls.
+     * rx_/rq_/rk_/rv_/rattn_ carry the per-image structure (attention
+     * needs the boundaries); rnormed_/rhidden_ are plain buffers the
+     * row-independent dense stages run over.
+     */
+    RaggedBatch rx_, rq_, rk_, rv_, rattn_;
+    Matrix rnormed_, rhidden_;
+    TokenPruner pruner_;
+    /** Effective per-layer keep schedule, resolved per call. */
+    std::vector<float> keepSched_;
     /**
      * Set while a forward entry point is executing; the activation
      * buffers above (and ws_) are shared per instance, so a concurrent

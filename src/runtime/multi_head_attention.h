@@ -15,7 +15,12 @@
  * The batched entry points take a Batch of B packed images and fan
  * B x H independent work items across the pool, which is what keeps the
  * workers busy at small head counts (H=3 for DeiT-Tiny leaves most of a
- * pool idle when only one image is in flight).
+ * pool idle when only one image is in flight). The ragged entry points
+ * do the same over a RaggedBatch (tensor/ragged_batch.h): every kernel
+ * invocation runs at its image's own token count, reading its row band
+ * of the contiguous packed buffer — the variable-token execution the
+ * token-pruning model path and mixed-resolution serving dispatch
+ * through.
  *
  * Thread safety: one MultiHeadAttention instance owns per-worker
  * contexts, so concurrent forward calls on the same instance are not
@@ -36,6 +41,7 @@
 #include "runtime/call_guard.h"
 #include "runtime/thread_pool.h"
 #include "tensor/batch.h"
+#include "tensor/ragged_batch.h"
 
 namespace vitality {
 
@@ -83,6 +89,28 @@ class MultiHeadAttention
                        const Batch &v);
 
     /**
+     * Ragged parallel forward: B x heads work items across the pool,
+     * every kernel invocation at its image's own token count.
+     *
+     * @param pool Pool to fan (image, head) pairs across.
+     * @param q,k,v Ragged batches over one contiguous buffer each
+     * (tensor/ragged_batch.h). All three must agree on image count and
+     * columns; k and v must share per-image row counts (q's may
+     * differ, as in the Matrix overload).
+     * @param out Resized to q's image structure; must not alias an
+     * input. Image i is bitwise-identical to forwardInto on that
+     * image's matrices — each (image, head) pair is the same float
+     * program, reading a row band of the packed buffer instead of a
+     * standalone Matrix.
+     */
+    void forwardRaggedInto(ThreadPool &pool, const RaggedBatch &q,
+                           const RaggedBatch &k, const RaggedBatch &v,
+                           RaggedBatch &out);
+
+    RaggedBatch forwardRagged(ThreadPool &pool, const RaggedBatch &q,
+                              const RaggedBatch &k, const RaggedBatch &v);
+
+    /**
      * Reference path: identical computation, one head at a time on the
      * calling thread. Bitwise-identical to the pooled path.
      */
@@ -100,6 +128,17 @@ class MultiHeadAttention
     Batch forwardBatchSequential(const Batch &q, const Batch &k,
                                  const Batch &v);
 
+    /** Ragged sequential reference, bitwise-identical to the pooled
+     * ragged path. */
+    void forwardRaggedSequentialInto(const RaggedBatch &q,
+                                     const RaggedBatch &k,
+                                     const RaggedBatch &v,
+                                     RaggedBatch &out);
+
+    RaggedBatch forwardRaggedSequential(const RaggedBatch &q,
+                                        const RaggedBatch &k,
+                                        const RaggedBatch &v);
+
     /**
      * Aggregate op counts for one multi-head invocation: the kernel's
      * per-head opCounts(n, d_model / heads) scaled by heads.
@@ -111,11 +150,27 @@ class MultiHeadAttention
                      const Matrix &v) const;
     void checkBatchShapes(const Batch &q, const Batch &k,
                           const Batch &v) const;
+    void checkRaggedShapes(const RaggedBatch &q, const RaggedBatch &k,
+                           const RaggedBatch &v) const;
     /** Grow contexts_ to at least workers entries, under contextsMutex_. */
     void ensureContexts(size_t workers);
     /** Run one head through ctx and write its output slice into out. */
     void runHead(AttentionContext &ctx, size_t head, const Matrix &q,
                  const Matrix &k, const Matrix &v, Matrix &out);
+    /**
+     * The runHead core over raw row bands: qRows x packedCols queries
+     * at q, kvRows x packedCols keys/values at k/v, output band at
+     * out. The Matrix and ragged paths both land here, which is what
+     * makes them bitwise-identical — a row band of a contiguous
+     * row-major buffer IS the standalone matrix.
+     */
+    void runHeadRows(AttentionContext &ctx, size_t head, const float *q,
+                     size_t qRows, const float *k, const float *v,
+                     size_t kvRows, size_t packedCols, float *out);
+    /** Ragged (image, head) work item: band lookup + runHeadRows. */
+    void runRaggedItem(AttentionContext &ctx, size_t item,
+                       const RaggedBatch &q, const RaggedBatch &k,
+                       const RaggedBatch &v, RaggedBatch &out);
 
     AttentionKernelPtr kernel_;
     size_t heads_;

@@ -1,5 +1,6 @@
 #include "runtime/runtime_options.h"
 
+#include <atomic>
 #include <cstdlib>
 #include <sstream>
 #include <stdexcept>
@@ -20,13 +21,66 @@ parseThreads(const char *text)
     return static_cast<size_t>(parsed);
 }
 
+// Token keep-ratio, -1 = not yet resolved from VITALITY_TOKENS. Valid
+// values live in (0, 1], so the sentinel is unambiguous. Same lazy
+// resolve-once contract as the Gemm knob atomics.
+std::atomic<float> g_tokenKeep{-1.0f};
+
 } // namespace
+
+std::optional<float>
+parseTokenKeep(const char *text)
+{
+    if (!text || !*text)
+        return std::nullopt;
+    char *end = nullptr;
+    const float parsed = std::strtof(text, &end);
+    if (end == text || *end != '\0' || !(parsed > 0.0f) || parsed > 1.0f)
+        return std::nullopt;
+    return parsed;
+}
+
+float
+tokenKeepRatio()
+{
+    float cur = g_tokenKeep.load(std::memory_order_acquire);
+    if (cur < 0.0f) {
+        float resolved = 1.0f;
+        const char *env = std::getenv("VITALITY_TOKENS");
+        if (env && *env) {
+            const std::optional<float> wanted = parseTokenKeep(env);
+            if (wanted) {
+                resolved = *wanted;
+            } else {
+                warn("VITALITY_TOKENS=%s not recognized (want a keep "
+                     "ratio in (0, 1]); keeping every token",
+                     env);
+            }
+        }
+        float expected = cur;
+        g_tokenKeep.compare_exchange_strong(expected, resolved,
+                                            std::memory_order_acq_rel);
+        cur = g_tokenKeep.load(std::memory_order_acquire);
+    }
+    return cur;
+}
+
+void
+setTokenKeepRatio(float keep)
+{
+    if (!(keep > 0.0f) || keep > 1.0f) {
+        throw std::invalid_argument(
+            strfmt("setTokenKeepRatio: keep ratio %g outside (0, 1]",
+                   static_cast<double>(keep)));
+    }
+    g_tokenKeep.store(keep, std::memory_order_release);
+}
 
 bool
 RuntimeOptions::empty() const
 {
     return !gemmBackend && !threads && !epilogueMode && !sparseMode &&
-           !quantMode;
+           !quantMode && !tokenKeep;
 }
 
 RuntimeOptions
@@ -43,6 +97,8 @@ RuntimeOptions::resolved() const
         out.sparseMode = sparseExecMode();
     if (!out.quantMode)
         out.quantMode = Gemm::quantMode();
+    if (!out.tokenKeep)
+        out.tokenKeep = tokenKeepRatio();
     return out;
 }
 
@@ -57,6 +113,11 @@ RuntimeOptions::apply() const
                    "this host",
                    Gemm::backendName(*gemmBackend)));
     }
+    if (tokenKeep && (!(*tokenKeep > 0.0f) || *tokenKeep > 1.0f)) {
+        throw std::invalid_argument(
+            strfmt("RuntimeOptions: token keep ratio %g outside (0, 1]",
+                   static_cast<double>(*tokenKeep)));
+    }
     if (gemmBackend)
         Gemm::setActive(*gemmBackend);
     if (threads)
@@ -67,6 +128,8 @@ RuntimeOptions::apply() const
         setSparseExecMode(*sparseMode);
     if (quantMode)
         Gemm::setQuantMode(*quantMode);
+    if (tokenKeep)
+        setTokenKeepRatio(*tokenKeep);
 }
 
 RuntimeOptions
@@ -89,6 +152,8 @@ RuntimeOptions::fromEnv()
         out.sparseMode = parseSparseExec(env);
     if (const char *env = std::getenv("VITALITY_QUANT"); env && *env)
         out.quantMode = Gemm::parseQuantMode(env);
+    if (const char *env = std::getenv("VITALITY_TOKENS"); env && *env)
+        out.tokenKeep = parseTokenKeep(env);
     return out;
 }
 
@@ -108,6 +173,11 @@ RuntimeOptions::summary() const
     os << " sparse=" << (sparseMode ? sparseExecName(*sparseMode) : "-");
     os << " quant="
        << (quantMode ? Gemm::quantModeName(*quantMode) : "-");
+    os << " tokens=";
+    if (tokenKeep)
+        os << *tokenKeep;
+    else
+        os << "-";
     return os.str();
 }
 

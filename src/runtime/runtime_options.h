@@ -1,16 +1,16 @@
 /**
  * @file
- * RuntimeOptions: the one programmatic surface over the library's five
+ * RuntimeOptions: the one programmatic surface over the library's six
  * execution knobs.
  *
  * Before this struct existed, pinning an execution mode meant knowing
- * five env variables (VITALITY_GEMM, VITALITY_THREADS,
- * VITALITY_EPILOGUE, VITALITY_SPARSE, VITALITY_QUANT) and five ad-hoc
- * setters scattered across two layers (Gemm::setActive,
- * Gemm::setMaxThreads, Gemm::setEpilogueMode, setSparseExecMode,
- * Gemm::setQuantMode). RuntimeOptions gathers them into one struct of
- * optional fields, and defines THE resolution order, documented once,
- * here:
+ * the env variables (VITALITY_GEMM, VITALITY_THREADS,
+ * VITALITY_EPILOGUE, VITALITY_SPARSE, VITALITY_QUANT, and now
+ * VITALITY_TOKENS) and as many ad-hoc setters scattered across layers
+ * (Gemm::setActive, Gemm::setMaxThreads, Gemm::setEpilogueMode,
+ * setSparseExecMode, Gemm::setQuantMode, setTokenKeepRatio).
+ * RuntimeOptions gathers them into one struct of optional fields, and
+ * defines THE resolution order, documented once, here:
  *
  *   explicit value  >  env variable  >  built-in default
  *
@@ -49,6 +49,26 @@
 
 namespace vitality {
 
+/**
+ * @name Token keep-ratio knob (VITALITY_TOKENS)
+ *
+ * The global keep-ratio the ragged encoder path's token pruner applies
+ * when a VitConfig carries no explicit per-layer schedule: the
+ * fraction of non-CLS tokens kept at each default prune point
+ * (model/token_pruner.h builds the staged schedule). In (0, 1];
+ * 1.0 = keep everything (pruning disabled, the default). Lazily
+ * resolved from VITALITY_TOKENS on first read, same contract as the
+ * other knob resolvers; malformed or out-of-range text warns and
+ * falls back to 1.0. The uniform Batch/Matrix paths never consult it.
+ */
+/// @{
+float tokenKeepRatio();
+/** Throws std::invalid_argument outside (0, 1]. */
+void setTokenKeepRatio(float keep);
+/** Parse "0.5"-style text; nullopt when malformed or out of range. */
+std::optional<float> parseTokenKeep(const char *text);
+/// @}
+
 struct RuntimeOptions
 {
     /** GEMM backend (VITALITY_GEMM; default: best available). */
@@ -68,6 +88,9 @@ struct RuntimeOptions
 
     /** Dense-stage quantization (VITALITY_QUANT; default off). */
     std::optional<Gemm::QuantMode> quantMode;
+
+    /** Token keep-ratio in (0, 1] (VITALITY_TOKENS; default 1.0). */
+    std::optional<float> tokenKeep;
 
     /** True when no field is engaged: apply() would be a no-op. */
     bool empty() const;
@@ -96,7 +119,7 @@ struct RuntimeOptions
     static RuntimeOptions current();
 
     /**
-     * Parse the five VITALITY_* variables into an options set:
+     * Parse the six VITALITY_* variables into an options set:
      * engaged where the variable is set and well-formed, disengaged
      * otherwise (unset AND malformed — the lazy resolvers warn about
      * malformed text, this helper just skips it). Introspection /
@@ -107,8 +130,8 @@ struct RuntimeOptions
 
     /**
      * Human-readable one-liner, e.g.
-     * "gemm=avx2 threads=0 epilogue=fused sparse=csr quant=off"
-     * with "-" for disengaged fields.
+     * "gemm=avx2 threads=0 epilogue=fused sparse=csr quant=off
+     * tokens=1" with "-" for disengaged fields.
      */
     std::string summary() const;
 

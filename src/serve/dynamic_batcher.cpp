@@ -60,12 +60,24 @@ std::future<InferenceResponse>
 DynamicBatcher::submit(const Matrix &tokens)
 {
     const VitConfig &cfg = encoder_.config();
-    if (tokens.rows() != cfg.tokens || tokens.cols() != cfg.dModel) {
+    // Mixed token counts are welcome (the dispatcher packs a ragged
+    // batch); what stays fixed is the embedding width and the preset's
+    // token budget. Rejecting here gives the caller a typed error at
+    // the ingress instead of a downstream check abort mid-batch.
+    if (tokens.cols() != cfg.dModel) {
         throw ServeError(
             ServeErrorCode::BadRequest,
-            strfmt("submit: input %s, model %s expects [%zu x %zu]",
+            strfmt("submit: input %s, model %s expects %zu columns",
                    tokens.shapeStr().c_str(), cfg.name.c_str(),
-                   cfg.tokens, cfg.dModel));
+                   cfg.dModel));
+    }
+    if (tokens.rows() == 0 || tokens.rows() > cfg.tokens) {
+        throw ServeError(
+            ServeErrorCode::BadRequest,
+            strfmt("submit: input %s, model %s accepts 1..%zu token "
+                   "rows",
+                   tokens.shapeStr().c_str(), cfg.name.c_str(),
+                   cfg.tokens));
     }
 
     std::future<InferenceResponse> future;
@@ -91,6 +103,7 @@ DynamicBatcher::submit(const Matrix &tokens)
         future = p.promise.get_future();
     }
     submitted_.fetch_add(1, std::memory_order_relaxed);
+    tokensSubmitted_.fetch_add(tokens.rows(), std::memory_order_relaxed);
     cv_.notify_one();
     return future;
 }
@@ -140,8 +153,13 @@ DynamicBatcher::runBatch(std::vector<Pending> &batch)
     const auto dispatchStart = std::chrono::steady_clock::now();
     try {
         inputPtrs_.clear();
-        for (const Pending &p : batch)
+        uint64_t batchTokens = 0;
+        for (const Pending &p : batch) {
             inputPtrs_.push_back(&p.tokens);
+            batchTokens += p.tokens.rows();
+        }
+        // Ragged pack: requests keep their own token counts. A uniform
+        // batch is just the special case where every count matches.
         packRequests(packed_, inputPtrs_.data(), inputPtrs_.size());
         {
             // Pinned options install under the process-wide gate; the
@@ -152,18 +170,23 @@ DynamicBatcher::runBatch(std::vector<Pending> &batch)
                 gate = std::unique_lock<std::mutex>(*dispatchGate_);
             if (!options_.empty()) {
                 RuntimeOptions::Scoped scoped(options_);
-                encoder_.forwardBatchInto(packed_, pool_, encoded_);
+                encoder_.forwardRaggedInto(packed_, pool_, encoded_);
             } else {
-                encoder_.forwardBatchInto(packed_, pool_, encoded_);
+                encoder_.forwardRaggedInto(packed_, pool_, encoded_);
             }
         }
         const auto done = std::chrono::steady_clock::now();
         const double computeMs = msBetween(dispatchStart, done);
 
         batches_.fetch_add(1, std::memory_order_relaxed);
+        tokensServed_.fetch_add(batchTokens, std::memory_order_relaxed);
         {
             std::lock_guard<std::mutex> slock(statsMutex_);
             maxBatchObserved_ = std::max(maxBatchObserved_, batch.size());
+            if (!dispatchClockSet_) {
+                dispatchClockSet_ = true;
+                firstDispatch_ = dispatchStart;
+            }
         }
         for (size_t i = 0; i < batch.size(); ++i) {
             Pending &p = batch[i];
@@ -223,6 +246,9 @@ DynamicBatcher::stats() const
         rejectedStopping_.load(std::memory_order_relaxed);
     s.errors = errors_.load(std::memory_order_relaxed);
     s.batches = batches_.load(std::memory_order_relaxed);
+    s.tokensSubmitted =
+        tokensSubmitted_.load(std::memory_order_relaxed);
+    s.tokensServed = tokensServed_.load(std::memory_order_relaxed);
     {
         std::lock_guard<std::mutex> lock(mutex_);
         s.queueDepth = queue_.size();
@@ -233,6 +259,15 @@ DynamicBatcher::stats() const
         s.p50Ms = reservoir_.quantile(0.50);
         s.p95Ms = reservoir_.quantile(0.95);
         s.p99Ms = reservoir_.quantile(0.99);
+        if (dispatchClockSet_) {
+            const double secs =
+                msBetween(firstDispatch_,
+                          std::chrono::steady_clock::now()) /
+                1000.0;
+            if (secs > 0.0)
+                s.tokensPerSec =
+                    static_cast<double>(s.tokensServed) / secs;
+        }
     }
     return s;
 }

@@ -1,11 +1,15 @@
 /**
  * @file
  * DynamicBatcher: the ingress that turns concurrent single-image
- * requests into the uniform batches the encoder is fast at.
+ * requests into the batches the encoder is fast at.
  *
  * Submitters push token matrices into a bounded queue and get a
- * std::future back; one dispatcher thread drains the queue into a
- * recycled Batch under a two-knob policy:
+ * std::future back. Requests may carry MIXED token counts (any rows in
+ * [1, preset tokens]; only the embedding width is fixed) — the
+ * dispatcher packs whatever accumulated into one contiguous
+ * RaggedBatch, so a 197-token image and a 50-token crop ride the same
+ * forward. One dispatcher thread drains the queue under a two-knob
+ * policy:
  *
  *   maxBatch       cut a batch as soon as this many requests are
  *                  waiting (throughput bound), and
@@ -14,14 +18,17 @@
  *                  (latency bound — a lone request on an idle server
  *                  pays at most the window, not forever).
  *
- * The dispatcher packs via packRequests, runs
- * VitEncoder::forwardBatchInto on the batcher's pool, and unpacks each
- * image into its request's future. Because forwardBatch is
- * bitwise-identical per image to the single-image forward
- * (vit_encoder.h) and pack/unpack are exact copies, a request's result
- * is bitwise-independent of what it was batched with — asserted for
- * every zoo kernel in test_serve. Compute exceptions fan out to every
- * future in the failed batch; the dispatcher itself survives.
+ * The dispatcher packs via the ragged packRequests, runs
+ * VitEncoder::forwardRaggedInto on the batcher's pool, and unpacks
+ * each image's SURVIVING tokens into its request's future (under a
+ * token-pruning keep ratio < 1.0 the response carries fewer rows than
+ * the request — that is the service contract, not an error). Because
+ * the ragged forward is bitwise-identical per image to a standalone
+ * forward of the same image (vit_encoder.h) and pack/unpack are exact
+ * copies, a request's result is bitwise-independent of what it was
+ * batched with — asserted for every zoo kernel in test_serve. Compute
+ * exceptions fan out to every future in the failed batch; the
+ * dispatcher itself survives.
  *
  * Back-pressure and shutdown are synchronous and typed: submit()
  * throws ServeError{QueueFull} when policy.queueCapacity requests are
@@ -91,9 +98,17 @@ struct BatcherStats
     uint64_t rejectedStopping = 0; ///< submit() throws: stopping.
     uint64_t errors = 0;         ///< Futures fulfilled with an exception.
     uint64_t batches = 0;        ///< Batched forwards dispatched.
+    uint64_t tokensSubmitted = 0; ///< Input token rows accepted.
+    uint64_t tokensServed = 0;   ///< Input token rows of served reqs.
     size_t queueDepth = 0;       ///< Requests waiting right now.
     size_t maxBatchObserved = 0; ///< Largest batch dispatched so far.
     double p50Ms = 0.0, p95Ms = 0.0, p99Ms = 0.0; ///< Total latency.
+    /**
+     * Served input tokens per second since the first dispatch (0.0
+     * before it): the throughput row that stays comparable when
+     * requests carry mixed token counts and images/s alone would not.
+     */
+    double tokensPerSec = 0.0;
 };
 
 class DynamicBatcher
@@ -127,8 +142,10 @@ class DynamicBatcher
     /**
      * Enqueue one image (copied). Returns the future that completes
      * when the request's batch has run. Throws ServeError with
-     * BadRequest (shape != tokens x dModel), QueueFull, or Stopping;
-     * on throw, nothing was enqueued.
+     * BadRequest for token-count-incompatible inputs (rows outside
+     * [1, preset tokens] or columns != dModel — typed here at the
+     * ingress instead of surfacing as a downstream VITALITY_CHECK
+     * abort), QueueFull, or Stopping; on throw, nothing was enqueued.
      */
     std::future<InferenceResponse> submit(const Matrix &tokens);
 
@@ -173,16 +190,20 @@ class DynamicBatcher
     bool joined_ = false;
 
     /** Dispatcher-thread scratch, recycled across batches. */
-    Batch packed_, encoded_;
+    RaggedBatch packed_, encoded_;
     std::vector<const Matrix *> inputPtrs_;
 
     /** Monotonic counters (lock-free scrape). */
     std::atomic<uint64_t> submitted_{0}, served_{0}, rejectedFull_{0},
-        rejectedStopping_{0}, errors_{0}, batches_{0};
+        rejectedStopping_{0}, errors_{0}, batches_{0},
+        tokensSubmitted_{0}, tokensServed_{0};
 
     mutable std::mutex statsMutex_; ///< Guards reservoir_ + maxBatch.
     LatencyReservoir reservoir_;
     size_t maxBatchObserved_ = 0;
+    /** First dispatch time, the tokens/s rate base (statsMutex_). */
+    bool dispatchClockSet_ = false;
+    std::chrono::steady_clock::time_point firstDispatch_;
 
     std::thread dispatcher_;
 };

@@ -139,6 +139,48 @@ testEncoderForwardBatchAllocationFree()
 }
 
 /**
+ * The ragged path is allocation-free once warm at a lens profile —
+ * including with token pruning active, where the pruner's ranking
+ * scratch and the shrinking activation structures must all recycle.
+ */
+void
+testEncoderForwardRaggedAllocationFree()
+{
+    const VitConfig cfg = allocConfig();
+    Rng rng(0xa114);
+    std::vector<Matrix> imgs;
+    imgs.push_back(Matrix::randn(1, cfg.dModel, rng, 0.0f, 0.5f));
+    imgs.push_back(Matrix::randn(9, cfg.dModel, rng, 0.0f, 0.5f));
+    imgs.push_back(Matrix::randn(cfg.tokens, cfg.dModel, rng, 0.0f, 0.5f));
+    std::vector<const Matrix *> ptrs;
+    for (const Matrix &m : imgs)
+        ptrs.push_back(&m);
+    const RaggedBatch x =
+        RaggedBatch::fromMatrices(ptrs.data(), ptrs.size());
+    ThreadPool pool(1);
+
+    VitEncoder enc(cfg, makeAttention(AttentionType::Taylor));
+    RaggedBatch out;
+    enc.forwardRaggedInto(x, pool, out);
+    enc.forwardRaggedInto(x, pool, out);
+
+    testing::AllocationProbe probe;
+    enc.forwardRaggedInto(x, pool, out);
+    T_CHECK(probe.allocations() == 0);
+
+    // Same contract with a pruning schedule engaged.
+    VitConfig pruned = allocConfig();
+    pruned.tokenKeep = {0.5f, 1.0f};
+    VitEncoder encP(pruned, makeAttention(AttentionType::Taylor));
+    encP.forwardRaggedInto(x, pool, out);
+    encP.forwardRaggedInto(x, pool, out);
+
+    testing::AllocationProbe probeP;
+    encP.forwardRaggedInto(x, pool, out);
+    T_CHECK(probeP.allocations() == 0);
+}
+
+/**
  * The INT8 dense path is allocation-free once warm too: the quantized
  * weight cache is built on the first int8 forward, and the per-call
  * activation quantization writes into recycled thread-local scratch.
@@ -176,6 +218,7 @@ main()
     testZooForwardIntoAllocationFree();
     testEncoderForwardAllocationFree();
     testEncoderForwardBatchAllocationFree();
+    testEncoderForwardRaggedAllocationFree();
     testEncoderInt8ForwardAllocationFree();
     return vitality::testing::finish("test_alloc");
 }

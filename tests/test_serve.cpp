@@ -24,6 +24,7 @@
 #include "attention/zoo.h"
 #include "base/rng.h"
 #include "model/request_batch.h"
+#include "model/token_pruner.h"
 #include "model/vit_config.h"
 #include "model/vit_encoder.h"
 #include "runtime/runtime_options.h"
@@ -52,6 +53,25 @@ randomTokens(const VitConfig &cfg, uint64_t seed)
 {
     Rng rng(seed);
     return Matrix::randn(cfg.tokens, cfg.dModel, rng, 0.0f, 1.0f);
+}
+
+/**
+ * The direct-forward twin of one served request: a single-image ragged
+ * forward. This is the reference the serving layer promises bitwise
+ * identity against — it honors whatever token-keep schedule is in
+ * effect, so the identity assertions below hold unchanged when the
+ * suite runs under a VITALITY_TOKENS pruning sweep (the CI keep-ratio
+ * legs), where served outputs carry fewer rows than inputs.
+ */
+Matrix
+refForward(VitEncoder &encoder, const Matrix &in, ThreadPool &pool)
+{
+    const Matrix *ptr = &in;
+    const RaggedBatch out =
+        encoder.forwardRagged(RaggedBatch::fromMatrices(&ptr, 1), pool);
+    Matrix img;
+    out.unpackImage(0, img);
+    return img;
 }
 
 // ---------------------------------------------------------------- zoo
@@ -249,8 +269,8 @@ testPolicyValidation()
 
 /**
  * The acceptance criterion: a request served through the batcher is
- * bitwise-identical to a direct single-image VitEncoder::forward with
- * the same config/kernel/seed — for EVERY kernel in the zoo, and
+ * bitwise-identical to a direct single-image ragged forward with the
+ * same config/kernel/seed — for EVERY kernel in the zoo, and
  * regardless of what the request was batched with.
  */
 void
@@ -262,8 +282,8 @@ testServedBitwiseIdentity()
         VitEncoder reference(cfg, makeAttention(type), 0xabc);
         const Matrix in0 = randomTokens(cfg, 11);
         const Matrix in1 = randomTokens(cfg, 22);
-        const Matrix want0 = reference.forward(in0, pool);
-        const Matrix want1 = reference.forward(in1, pool);
+        const Matrix want0 = refForward(reference, in0, pool);
+        const Matrix want1 = refForward(reference, in1, pool);
 
         VitEncoder served(cfg, makeAttention(type), 0xabc);
         BatchPolicy policy;
@@ -412,19 +432,74 @@ testSubmitShapeValidation()
     ThreadPool pool(1);
     VitEncoder encoder(cfg, makeAttention(AttentionType::Taylor));
     DynamicBatcher batcher(encoder, pool, BatchPolicy{});
-    const Matrix wrong(cfg.tokens + 1, cfg.dModel);
-    try {
-        batcher.submit(wrong);
-        T_CHECK(false && "submit accepted a wrong-shape input");
-    } catch (const ServeError &e) {
-        T_CHECK(e.code() == ServeErrorCode::BadRequest);
+    // Token-count-incompatible inputs get the typed BadRequest at the
+    // ingress: too many rows, zero rows, or a wrong embedding width.
+    const Matrix tooTall(cfg.tokens + 1, cfg.dModel);
+    const Matrix zeroRows(0, cfg.dModel);
+    const Matrix wrongCols(cfg.tokens, cfg.dModel + 1);
+    for (const Matrix *bad : {&tooTall, &zeroRows, &wrongCols}) {
+        try {
+            batcher.submit(*bad);
+            T_CHECK(false && "submit accepted an incompatible input");
+        } catch (const ServeError &e) {
+            T_CHECK(e.code() == ServeErrorCode::BadRequest);
+        }
     }
+    const BatcherStats s = batcher.stats();
+    T_CHECK(s.submitted == 0 && s.tokensSubmitted == 0);
+    // Fewer rows than the preset is NOT an error — mixed token counts
+    // are the point.
+    Rng rng(0x51ff);
+    const Matrix small = Matrix::randn(3, cfg.dModel, rng);
+    (void)batcher.submit(small).get();
     // Pinned options without a gate are a construction error.
     RuntimeOptions pin;
     pin.quantMode = Gemm::QuantMode::Off;
     T_CHECK_THROWS(
         DynamicBatcher(encoder, pool, BatchPolicy{}, pin, nullptr),
         std::invalid_argument);
+}
+
+/**
+ * Mixed token counts ride one batcher: every request's result equals
+ * its own single-image ragged forward (whatever it was batched with),
+ * and the token-level stats account for the accepted input rows.
+ */
+void
+testMixedTokenCountServing()
+{
+    const VitConfig cfg = tinyConfig();
+    ThreadPool pool(2);
+    VitEncoder reference(cfg, makeAttention(AttentionType::Taylor), 0x9);
+    Rng rng(0x3117);
+    std::vector<Matrix> inputs;
+    const size_t lens[] = {1, 7, cfg.tokens, 3, cfg.tokens};
+    size_t totalTokens = 0;
+    for (size_t n : lens) {
+        inputs.push_back(Matrix::randn(n, cfg.dModel, rng, 0.0f, 1.0f));
+        totalTokens += n;
+    }
+    std::vector<Matrix> wants;
+    for (const Matrix &in : inputs)
+        wants.push_back(refForward(reference, in, pool));
+
+    VitEncoder served(cfg, makeAttention(AttentionType::Taylor), 0x9);
+    BatchPolicy policy;
+    policy.maxBatch = 3; // force at least two mixed batches
+    policy.maxWaitMicros = 5000;
+    DynamicBatcher batcher(served, pool, policy);
+    std::vector<std::future<InferenceResponse>> futures;
+    for (const Matrix &in : inputs)
+        futures.push_back(batcher.submit(in));
+    for (size_t i = 0; i < futures.size(); ++i)
+        T_CHECK(futures[i].get().output == wants[i]);
+    batcher.shutdown();
+
+    const BatcherStats s = batcher.stats();
+    T_CHECK(s.served == 5 && s.errors == 0);
+    T_CHECK(s.tokensSubmitted == totalTokens);
+    T_CHECK(s.tokensServed == totalTokens);
+    T_CHECK(s.tokensPerSec > 0.0);
 }
 
 // --------------------------------------------------- ModelServer
@@ -459,7 +534,7 @@ testModelServerRegistryAndRouting()
     // And each equals its direct-encoder twin, bitwise.
     ThreadPool pool(2);
     VitEncoder ref(cfg, makeAttention(AttentionType::Taylor), 0x111);
-    T_CHECK(outT == ref.forward(in, pool));
+    T_CHECK(outT == refForward(ref, in, pool));
 
     T_CHECK_THROWS(server.submit("nope/Nope", in), ServeError);
     T_CHECK_THROWS(server.stats("nope/Nope"), ServeError);
@@ -494,7 +569,9 @@ testModelServerConfigValidation()
     const std::string key = server.addModel(sparse);
     const InferenceResponse r =
         server.submit(key, randomTokens(cfg, 6)).get();
-    T_CHECK(r.output.rows() == cfg.tokens);
+    // Under a token-keep sweep the response may carry fewer rows.
+    T_CHECK(r.output.rows() >= 1 && r.output.rows() <= cfg.tokens);
+    T_CHECK(r.output.cols() == cfg.dModel);
 
     // Unavailable pinned backend is a registration-time error.
     if (!Gemm::available(Gemm::Backend::Avx2)) {
@@ -524,7 +601,7 @@ testModelServerPinnedOptions()
     {
         setSparseExecMode(SparseExec::Dense);
         VitEncoder ref(cfg, makeAttention(AttentionType::Unified), 0x7);
-        wantDense = ref.forward(in, pool);
+        wantDense = refForward(ref, in, pool);
         setSparseExecMode(ambient);
     }
 
@@ -539,6 +616,39 @@ testModelServerPinnedOptions()
     T_CHECK(got == wantDense);
     // Dispatch restored the ambient mode.
     T_CHECK(sparseExecMode() == ambient);
+    server.shutdown();
+}
+
+/**
+ * A model pinned to a token-keep policy prunes exactly per the staged
+ * schedule analytics, while the ambient process keep ratio is
+ * untouched after dispatch.
+ */
+void
+testModelServerPinnedTokenKeep()
+{
+    const VitConfig cfg = tinyConfig();
+    const float ambient = tokenKeepRatio();
+
+    ModelServer server(2);
+    ModelConfig pruned;
+    pruned.preset = cfg;
+    pruned.kernel = AttentionType::Taylor;
+    pruned.options.tokenKeep = 0.5f;
+    const std::string key = server.addModel(pruned);
+
+    const Matrix in = randomTokens(cfg, 17);
+    const Matrix out = server.submit(key, in).get().output;
+    // tinyConfig has 2 layers: the staged schedule prunes once (after
+    // layer 0), so the survivors are one keptTokens application.
+    std::vector<float> sched;
+    TokenPruner::buildSchedule(sched, cfg.layers, 0.5f);
+    size_t want = cfg.tokens;
+    for (float keep : sched)
+        want = TokenPruner::keptTokens(want, keep);
+    T_CHECK(want < cfg.tokens); // the policy actually prunes
+    T_CHECK(out.rows() == want);
+    T_CHECK(tokenKeepRatio() == ambient);
     server.shutdown();
 }
 
@@ -559,7 +669,7 @@ testConcurrentSubmitStress()
     ThreadPool refPool(2);
     VitEncoder ref(cfg, makeAttention(AttentionType::Taylor));
     const Matrix in = randomTokens(cfg, 13);
-    const Matrix want = ref.forward(in, refPool);
+    const Matrix want = refForward(ref, in, refPool);
 
     constexpr int kThreads = 4, kPerThread = 6;
     std::atomic<int> matches{0};
@@ -602,9 +712,11 @@ main()
     testQueueFullRejection();
     testShutdownDrainsInFlight();
     testSubmitShapeValidation();
+    testMixedTokenCountServing();
     testModelServerRegistryAndRouting();
     testModelServerConfigValidation();
     testModelServerPinnedOptions();
+    testModelServerPinnedTokenKeep();
     testConcurrentSubmitStress();
     return vitality::testing::finish("test_serve");
 }
