@@ -13,6 +13,16 @@
  * checker keys rows on keep_ratio/ragged so pruned and unpruned runs
  * never gate against each other.
  *
+ * Compiled-plan rows ("PlannedEncoder(Taylor)", batch 1) measure the
+ * same single-image forward on two seed-identical encoders with laps
+ * interleaved — eager ("prepack": "off") against a compiled uniform
+ * plan ("prepack": "on"), paired so shared-host drift cancels out of
+ * the comparison — plus a third encoder under the paper-style hybrid
+ * schedule taylor:0-5,softmax:6-11 (keyed by its "layers" text). The
+ * regression checker keys on prepack/layers the same way it keys on
+ * keep_ratio, so the eager baseline, the prepacked plan, and the
+ * hybrid never gate against each other.
+ *
  * For each (model, kernel, batch) triple the bench runs the pooled
  * batched multi-head forward over packed inputs and reports mean and
  * median wall-clock per batch, per-image throughput, achieved GFLOP/s
@@ -67,6 +77,7 @@
 #include "base/logging.h"
 #include "base/rng.h"
 #include "bench_util.h"
+#include "model/encoder_plan.h"
 #include "model/vit_config.h"
 #include "model/vit_encoder.h"
 #include "runtime/multi_head_attention.h"
@@ -100,6 +111,8 @@ struct Result
     bool ragged = false; // ran through the variable-token path
     double keepRatio = -1.0;    // token-keep ratio; -1 = no pruning sweep
     double tokensPerSec = -1.0; // input token rows / s; -1 = n/a
+    int prepack = -1;    // planned rows: 1 = compiled plan, 0 = eager
+    std::string layers;  // planned kernel schedule; empty = uniform
     OpCounts counts;     // per image (all heads, one layer)
 };
 
@@ -169,8 +182,16 @@ entryJson(const std::vector<Result> &results, size_t pool_threads)
            << ", \"mask_density\": " << r.maskDensity
            << ", \"ragged\": " << (r.ragged ? "true" : "false")
            << ", \"keep_ratio\": " << r.keepRatio
-           << ", \"tokens_per_s\": " << r.tokensPerSec
-           << ", \"gflops_per_image\": "
+           << ", \"tokens_per_s\": " << r.tokensPerSec;
+        // Plan columns only on planned-encoder rows: absent fields
+        // keep legacy rows byte-identical, and the regression gate
+        // keys on them only where they exist.
+        if (r.prepack >= 0)
+            os << ", \"prepack\": \"" << (r.prepack ? "on" : "off")
+               << "\"";
+        if (!r.layers.empty())
+            os << ", \"layers\": \"" << r.layers << "\"";
+        os << ", \"gflops_per_image\": "
            << static_cast<double>(r.counts.flops()) * 1e-9
            << ", \"ops_per_image\": {\"mul\": " << r.counts.mul
            << ", \"add\": " << r.counts.add
@@ -330,6 +351,102 @@ main(int argc, char **argv)
                    "  %7.2f GFLOP/s",
                    cfg.name.c_str(), res.kernel.c_str(), median_ms,
                    res.imagesPerSec, res.gflopsPerSec);
+        }
+
+        // Compiled-plan encoder rows ("PlannedEncoder(Taylor)", batch
+        // 1). The prepack pair is PAIRED lap for lap: two encoders
+        // from the same seed (bitwise-identical weights and outputs),
+        // one eager ("prepack": "off") and one through a compiled
+        // uniform plan ("prepack": "on"), alternate within every rep —
+        // the effect is a few percent while shared-host drift over a
+        // sequential pair of phases can exceed it, and interleaving
+        // cancels the drift out of the comparison. The uniform plan
+        // pins an engaged-empty schedule so an ambient VITALITY_LAYERS
+        // cannot skew the pair. A third encoder runs the paper-style
+        // hybrid schedule (linear Taylor early, exact softmax late),
+        // keyed by its "layers" text; analytic counts stay the
+        // base-kernel program (as on the pruned ragged rows), so the
+        // hybrid row's GFLOP/s reads as effective throughput.
+        {
+            const std::string hybrid = "taylor:0-5,softmax:6-11";
+            const auto pushPlanned = [&](const char *label, int prepack,
+                                         const std::string &layers,
+                                         std::vector<double> laps,
+                                         const VitEncoder &enc) {
+                double mean_ms = 0.0;
+                for (double lap : laps)
+                    mean_ms += lap;
+                mean_ms /= static_cast<double>(laps.size());
+                const double median_ms = median(laps);
+
+                Result res;
+                res.model = cfg.name;
+                res.kernel = "PlannedEncoder(Taylor)";
+                res.tokens = cfg.tokens;
+                res.heads = cfg.heads;
+                res.headDim = cfg.headDim();
+                res.batch = 1;
+                res.reps = reps;
+                res.wallMsMean = mean_ms;
+                res.wallMsMedian = median_ms;
+                res.imagesPerSec =
+                    median_ms > 0.0 ? 1.0 / (median_ms * 1e-3) : 0.0;
+                res.maskDensity = -1.0;
+                res.prepack = prepack;
+                res.layers = layers;
+                res.counts = enc.opCounts();
+                res.gflopsPerSec =
+                    median_ms > 0.0
+                        ? static_cast<double>(res.counts.flops()) /
+                              (median_ms * 1e6)
+                        : 0.0;
+                results.push_back(res);
+
+                inform("%-10s PlannedEnc %-14s %8.3f ms/img   "
+                       "%8.1f img/s  %7.2f GFLOP/s",
+                       cfg.name.c_str(), label, median_ms,
+                       res.imagesPerSec, res.gflopsPerSec);
+            };
+
+            VitEncoder eagerEnc(cfg,
+                                makeAttention(AttentionType::Taylor),
+                                0x5eed);
+            VitEncoder plannedEnc(cfg,
+                                  makeAttention(AttentionType::Taylor),
+                                  0x5eed);
+            PlanOptions uniform;
+            uniform.layerKernels = std::string(); // pin uniform
+            plannedEnc.compilePlan(uniform);
+            Matrix out;
+            eagerEnc.forwardInto(qs[0], pool, out); // warmup both
+            plannedEnc.forwardInto(qs[0], pool, out);
+            std::vector<double> offLaps(static_cast<size_t>(reps));
+            std::vector<double> onLaps(static_cast<size_t>(reps));
+            for (int r = 0; r < reps; ++r) {
+                double t0 = nowMs();
+                eagerEnc.forwardInto(qs[0], pool, out);
+                offLaps[static_cast<size_t>(r)] = nowMs() - t0;
+                t0 = nowMs();
+                plannedEnc.forwardInto(qs[0], pool, out);
+                onLaps[static_cast<size_t>(r)] = nowMs() - t0;
+            }
+            pushPlanned("prepack=off", 0, "", offLaps, eagerEnc);
+            pushPlanned("prepack=on", 1, "", onLaps, plannedEnc);
+
+            VitEncoder hybridEnc(cfg,
+                                 makeAttention(AttentionType::Taylor),
+                                 0x5eed);
+            PlanOptions heteroOpts;
+            heteroOpts.layerKernels = hybrid;
+            hybridEnc.compilePlan(heteroOpts);
+            hybridEnc.forwardInto(qs[0], pool, out); // warmup
+            std::vector<double> hybridLaps(static_cast<size_t>(reps));
+            for (int r = 0; r < reps; ++r) {
+                const double t0 = nowMs();
+                hybridEnc.forwardInto(qs[0], pool, out);
+                hybridLaps[static_cast<size_t>(r)] = nowMs() - t0;
+            }
+            pushPlanned("hybrid", 1, hybrid, hybridLaps, hybridEnc);
         }
 
         // Ragged encoder rows under the token-keep sweep: the same

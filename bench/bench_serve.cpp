@@ -24,7 +24,11 @@
  * provenance as bench_attention, via bench_util.h) as kernel
  * "Serve(<name>)" with the policy knobs (max_batch, max_wait_us)
  * recorded per row; check_bench_regression.py keys percentile metrics
- * on those knobs so serve rows gate like kernel rows. Note the
+ * on those knobs so serve rows gate like kernel rows. Each row also
+ * records register_ms — the addModel wall-clock, which since
+ * registration-time plan compilation covers weight prepacking, eager
+ * int8 quantization (when pinned), and the workspace pre-grow; it is
+ * informational (paid once per model), not gated. Note the
  * ROADMAP caveat: the dev container is single-core, so latency
  * distributions are only meaningful in CI — locally this bench is a
  * correctness smoke (and is run exactly that way, with a small
@@ -87,6 +91,7 @@ struct ServeResult
     double keepRatio;     // token-keep policy of the served model
     double tokensPerSec;  // served input token rows / s (batcher stat)
     uint64_t tokensServed; // input token rows across served requests
+    double registerMs;    // addModel wall: registration-time plan compile
 };
 
 std::string
@@ -113,7 +118,14 @@ runSweep(const VitConfig &preset, AttentionType kernel,
     // adds no dispatch-gate locking.
     if (keep < 1.0f)
         mc.options.tokenKeep = keep;
+    // Registration now compiles the model's execution plan (weight
+    // prepacking, eager int8 twins when pinned, workspace pre-grow),
+    // so addModel wall-clock IS the compiled-registration cost; it is
+    // recorded per row (register_ms) but not gated — it is paid once
+    // per model, not per request.
+    const double tReg = nowMs();
     const std::string key = server.addModel(mc);
+    const double registerMs = nowMs() - tReg;
 
     // Warm the serving path (first forward sizes every buffer).
     server.submit(key, inputs[0]).get();
@@ -173,6 +185,7 @@ runSweep(const VitConfig &preset, AttentionType kernel,
     r.keepRatio = static_cast<double>(keep);
     r.tokensPerSec = stats.tokensPerSec;
     r.tokensServed = stats.tokensServed;
+    r.registerMs = registerMs;
     return r;
 }
 
@@ -214,7 +227,8 @@ entryJson(const std::vector<ServeResult> &results, size_t pool_threads)
            << ", \"images_per_s\": " << r.imagesPerSec
            << ", \"keep_ratio\": " << r.keepRatio
            << ", \"tokens_served\": " << r.tokensServed
-           << ", \"tokens_per_s\": " << r.tokensPerSec << "}"
+           << ", \"tokens_per_s\": " << r.tokensPerSec
+           << ", \"register_ms\": " << r.registerMs << "}"
            << (i + 1 < results.size() ? "," : "") << "\n";
     }
     os << "  ]\n}";
@@ -307,13 +321,14 @@ main(int argc, char **argv)
                              inputs, calibrated);
                 inform("%-10s %-16s keep=%.2f max_batch=%zu wait=%lluus"
                        "  p50=%.2f p95=%.2f p99=%.2f ms  %.1f img/s  "
-                       "%.1f tok/s  (%zu served, %zu rejected, "
-                       "%llu batches, largest %zu)",
+                       "%.1f tok/s  register=%.2fms  (%zu served, "
+                       "%zu rejected, %llu batches, largest %zu)",
                        r.model.c_str(), r.kernel.c_str(), r.keepRatio,
                        r.maxBatch,
                        static_cast<unsigned long long>(r.maxWaitMicros),
                        r.p50Ms, r.p95Ms, r.p99Ms, r.imagesPerSec,
-                       r.tokensPerSec, r.served, r.rejected,
+                       r.tokensPerSec, r.registerMs, r.served,
+                       r.rejected,
                        static_cast<unsigned long long>(r.batches),
                        r.maxBatchObserved);
                 results.push_back(r);

@@ -82,18 +82,29 @@ INVERTED_METRICS = ("images_per_s", "tokens_per_s")
 
 
 def keep_suffix(r):
-    """Token-keep shape-key suffix (PR 9): a keep=0.5 run prunes most
-    of its work away and would mask regressions in (or be flagged
-    against) an unpruned run at the same shape, so the keep ratio — and
-    the ragged-vs-uniform execution mode, which differ in dispatch even
-    at keep=1.0 — are part of the key. Legacy rows predating the fields
-    carry no suffix and only compare against each other."""
+    """Execution-mode shape-key suffix. Token-keep (PR 9): a keep=0.5
+    run prunes most of its work away and would mask regressions in (or
+    be flagged against) an unpruned run at the same shape, so the keep
+    ratio — and the ragged-vs-uniform execution mode, which differ in
+    dispatch even at keep=1.0 — are part of the key. Compiled plans
+    (PR 10) extend the suffix with prepack ("on"/"off": a prepacked
+    run skips the per-call pack loop, so the eager baseline and the
+    planned run sit on different cost curves) and layers (the per-layer
+    kernel schedule text: a hybrid taylor/softmax plan runs a different
+    program than a uniform one). Legacy rows predating the fields carry
+    no suffix and only compare against each other."""
     parts = []
     if r.get("ragged"):
         parts.append("ragged")
     keep = r.get("keep_ratio")
     if keep is not None and keep >= 0:
         parts.append(f"keep={keep:g}")
+    prepack = r.get("prepack")
+    if prepack is not None:
+        parts.append(f"prepack={prepack}")
+    layers = r.get("layers")
+    if layers:
+        parts.append(f"layers={layers}")
     return ("," + ",".join(parts)) if parts else ""
 
 

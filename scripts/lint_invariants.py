@@ -15,7 +15,12 @@ Checks (each violation is reported as file:line and fails the run):
      gemmInt8Avx2, epilogueApplyRow) are referenced only from
      src/tensor/gemm* translation units. Everything else must funnel
      through Gemm::multiply, which is what keeps dispatch, banding,
-     and the epilogue contract in one place.
+     and the epilogue contract in one place. (2b) The panel-packing
+     helpers (packAPanel, packBPanel, packAPanelInt8, packBPanelInt8)
+     are referenced only from gemm_pack.{h,cpp}, the AVX2 backend TUs,
+     and packed_weights.{h,cpp} — one packing implementation, shared
+     by the per-call path and the prepack path, is what makes
+     prepacked panels byte-identical to per-call pack output.
   3. Every VITALITY_* environment knob read via getenv() in src/, and
      every VITALITY_* CMake option, is documented in README.md — and
      (3b) every such env knob is also resolved by
@@ -51,6 +56,13 @@ ALLOC_TOKENS = re.compile(
 BACKEND_IDENTS = re.compile(
     r"\b(gemmScalar|gemmAvx2|gemmInt8Scalar|gemmInt8Avx2|"
     r"epilogueApplyRow)\b")
+
+PACK_IDENTS = re.compile(
+    r"\b(packAPanel|packBPanel|packAPanelInt8|packBPanelInt8)\b")
+
+PACK_FILES = {"gemm_pack.h", "gemm_pack.cpp", "gemm_avx2.cpp",
+              "gemm_int8_avx2.cpp", "packed_weights.h",
+              "packed_weights.cpp"}
 
 violations = []
 
@@ -173,6 +185,21 @@ def check_backend_containment():
             report(path, line_of(text, m.start()),
                    f"GEMM backend internal {m.group(0)} referenced outside "
                    "src/tensor/gemm*; use Gemm::multiply")
+
+
+# --- Rule 2b: panel-packing helpers stay in the pack/prepack TUs --------
+
+def check_pack_containment():
+    for ext in (".cpp", ".h"):
+        for path in src_files(ext):
+            if os.path.basename(path) in PACK_FILES:
+                continue
+            text = strip_comments(open(path).read())
+            for m in PACK_IDENTS.finditer(text):
+                report(path, line_of(text, m.start()),
+                       f"panel-packing helper {m.group(0)} referenced "
+                       "outside gemm_pack/packed_weights/the AVX2 "
+                       "backend TUs")
 
 
 # --- Rule 3: every VITALITY_* knob is documented in README --------------
@@ -304,6 +331,7 @@ def check_header_guards():
 def main():
     check_hot_path_allocations()
     check_backend_containment()
+    check_pack_containment()
     check_knobs_documented()
     check_knobs_in_runtime_options()
     check_avx2_pairing()

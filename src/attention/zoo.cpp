@@ -94,4 +94,100 @@ makeAttentionZoo()
     return zoo;
 }
 
+namespace {
+
+/** Parse a whole decimal layer index out of text; throws otherwise. */
+size_t
+parseLayerIndex(const std::string &text, const std::string &item)
+{
+    if (text.empty())
+        throw std::invalid_argument(
+            "layer schedule: missing layer index in '" + item + "'");
+    size_t pos = 0;
+    unsigned long value = 0;
+    try {
+        value = std::stoul(text, &pos, 10);
+    } catch (const std::exception &) {
+        pos = 0;
+    }
+    if (pos != text.size())
+        throw std::invalid_argument(
+            "layer schedule: bad layer index '" + text + "' in '" + item +
+            "'");
+    return static_cast<size_t>(value);
+}
+
+} // namespace
+
+std::vector<LayerKernelRange>
+parseLayerSchedule(const std::string &text)
+{
+    std::vector<LayerKernelRange> out;
+    if (text.empty())
+        return out;
+    size_t pos = 0;
+    while (true) {
+        const size_t comma = text.find(',', pos);
+        const std::string item = text.substr(
+            pos, (comma == std::string::npos ? text.size() : comma) - pos);
+        const size_t colon = item.find(':');
+        if (colon == std::string::npos || colon == 0 ||
+            colon + 1 >= item.size()) {
+            throw std::invalid_argument(
+                "layer schedule: expected kernel:range, got '" + item +
+                "' (grammar: \"taylor:0-7,softmax:8-11\")");
+        }
+        const std::string name = item.substr(0, colon);
+        const std::optional<AttentionType> kernel = kernelFromName(name);
+        if (!kernel) {
+            throw std::invalid_argument(
+                "layer schedule: unknown kernel '" + name + "' in '" +
+                item + "'");
+        }
+        const std::string range = item.substr(colon + 1);
+        const size_t dash = range.find('-');
+        size_t lo = 0, hi = 0;
+        if (dash == std::string::npos) {
+            lo = hi = parseLayerIndex(range, item);
+        } else {
+            lo = parseLayerIndex(range.substr(0, dash), item);
+            hi = parseLayerIndex(range.substr(dash + 1), item);
+        }
+        if (lo > hi) {
+            throw std::invalid_argument(
+                "layer schedule: descending range in '" + item + "'");
+        }
+        out.push_back({*kernel, lo, hi});
+        if (comma == std::string::npos)
+            break;
+        pos = comma + 1;
+    }
+    return out;
+}
+
+std::vector<AttentionType>
+expandLayerSchedule(const std::string &text, size_t layers,
+                    AttentionType base)
+{
+    std::vector<AttentionType> out(layers, base);
+    std::vector<bool> covered(layers, false);
+    for (const LayerKernelRange &range : parseLayerSchedule(text)) {
+        if (range.hi >= layers) {
+            throw std::invalid_argument(strfmt(
+                "layer schedule: range %zu-%zu exceeds the model's %zu "
+                "layers",
+                range.lo, range.hi, layers));
+        }
+        for (size_t l = range.lo; l <= range.hi; ++l) {
+            if (covered[l]) {
+                throw std::invalid_argument(strfmt(
+                    "layer schedule: layer %zu covered by two ranges", l));
+            }
+            covered[l] = true;
+            out[l] = range.kernel;
+        }
+    }
+    return out;
+}
+
 } // namespace vitality

@@ -54,6 +54,43 @@ std::vector<AttentionType> allAttentionTypes();
 /** One instance of every kernel. */
 std::vector<AttentionKernelPtr> makeAttentionZoo();
 
+/**
+ * One range of a per-layer kernel schedule: run `kernel` on layers
+ * [lo, hi] (inclusive — the string grammar below is human-written).
+ */
+struct LayerKernelRange
+{
+    AttentionType kernel;
+    size_t lo;
+    size_t hi;
+};
+
+/**
+ * Parse a per-layer kernel schedule string:
+ *
+ *   schedule := item ("," item)*          (empty string = no ranges)
+ *   item     := kernel ":" (index | index "-" index)
+ *
+ * e.g. "taylor:0-7,softmax:8-11" or "unified:5". Kernel names go
+ * through kernelFromName() (case-insensitive); indices are decimal
+ * layer numbers with lo <= hi. Grammar-only: range bounds are NOT
+ * checked against any layer count here (expandLayerSchedule does
+ * that). Throws std::invalid_argument on malformed text or unknown
+ * kernel names.
+ */
+std::vector<LayerKernelRange> parseLayerSchedule(const std::string &text);
+
+/**
+ * Expand a schedule string over `layers` encoder layers: every layer
+ * covered by a range gets that range's kernel, uncovered layers get
+ * `base` (the model's configured kernel). Throws std::invalid_argument
+ * on parse errors, a range reaching at or past `layers`, or two ranges
+ * covering the same layer.
+ */
+std::vector<AttentionType> expandLayerSchedule(const std::string &text,
+                                               size_t layers,
+                                               AttentionType base);
+
 } // namespace vitality
 
 #endif // VITALITY_ATTENTION_ZOO_H

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "attention/zoo.h"
 #include "base/logging.h"
 #include "model/token_pruner.h"
 
@@ -10,19 +11,19 @@ namespace vitality {
 VitConfig
 VitConfig::deitTiny()
 {
-    return {"DeiT-Tiny", 12, 3, 192, 197, 768, {}};
+    return {"DeiT-Tiny", 12, 3, 192, 197, 768, {}, {}};
 }
 
 VitConfig
 VitConfig::deitSmall()
 {
-    return {"DeiT-Small", 12, 6, 384, 197, 1536, {}};
+    return {"DeiT-Small", 12, 6, 384, 197, 1536, {}, {}};
 }
 
 VitConfig
 VitConfig::deitBase()
 {
-    return {"DeiT-Base", 12, 12, 768, 197, 3072, {}};
+    return {"DeiT-Base", 12, 12, 768, 197, 3072, {}, {}};
 }
 
 VitConfig
@@ -67,6 +68,15 @@ VitConfig::validate() const
                            name.c_str(), l,
                            static_cast<double>(tokenKeep[l])));
             }
+        }
+    }
+    if (!layerKernels.empty()) {
+        try {
+            (void)expandLayerSchedule(layerKernels, layers,
+                                      AttentionType::Taylor);
+        } catch (const std::invalid_argument &e) {
+            throw std::invalid_argument(strfmt(
+                "VitConfig %s: layerKernels: %s", name.c_str(), e.what()));
         }
     }
 }

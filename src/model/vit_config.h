@@ -40,6 +40,18 @@ struct VitConfig
      */
     std::vector<float> tokenKeep;
 
+    /**
+     * Per-layer attention-kernel schedule, string form
+     * "taylor:0-7,softmax:8-11" (attention/zoo.h grammar): ranges name
+     * the kernel run on those layers, uncovered layers run the model's
+     * base kernel. Empty (the default) defers to the global
+     * VITALITY_LAYERS knob. Only consulted when an EncoderPlan is
+     * compiled (model/encoder_plan.h) — eager execution always runs
+     * the base kernel on every layer. validate() checks the grammar
+     * and that ranges fit `layers`.
+     */
+    std::string layerKernels;
+
     /** Per-head dimension d_h = dModel / heads (64 for all DeiT sizes). */
     size_t headDim() const { return dModel / heads; }
 

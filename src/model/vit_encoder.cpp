@@ -2,9 +2,11 @@
 
 #include <stdexcept>
 
+#include "attention/zoo.h"
 #include "base/check.h"
 #include "base/logging.h"
 #include "base/rng.h"
+#include "model/encoder_plan.h"
 #include "runtime/call_guard.h"
 #include "runtime/runtime_options.h"
 #include "tensor/gemm.h"
@@ -45,45 +47,76 @@ quantScratch(const Matrix &src)
     return t_qact;
 }
 
+// One dense-stage projection, prepacked when the layer carries a plan
+// pack (results are bitwise-identical either way — the prepacked
+// panels ARE the per-call pack output, and the scalar backend runs an
+// unpack-free reference path against the borrowed source).
+void
+projectFp32(Matrix &dst, const Matrix &a, const Matrix &w,
+            const PackedMatrix *p, const Gemm::Epilogue &epi)
+{
+    if (p)
+        Gemm::multiply(dst, a, *p, Gemm::Trans::None, epi);
+    else
+        Gemm::multiply(dst, a, w, Gemm::Trans::None, epi);
+}
+
+// Int8 twin: prepacked panels only when the plan packed them
+// (PlanOptions::packInt8); otherwise the eager quantized multiply
+// against the cached int8 weights.
+void
+projectInt8(Matrix &dst, const QuantizedMatrix &a,
+            const QuantizedMatrix &w, const PackedMatrix *p,
+            const Gemm::Epilogue &epi)
+{
+    if (p && p->hasInt8())
+        Gemm::multiply(dst, a, *p, Gemm::Trans::None, epi);
+    else
+        Gemm::multiply(dst, a, w, Gemm::Trans::None, epi);
+}
+
 // LN1 and the QKV projections: normed, q, k, v <- LN1(x), packed QKV.
 // The three projections share one quantization of `normed`.
 void
 attentionPre(const VitEncoder::LayerWeights &w,
-             const VitEncoder::QuantizedLayerWeights *qw, const Matrix &x,
+             const VitEncoder::QuantizedLayerWeights *qw,
+             const EncoderPlan::LayerPack *pk, const Matrix &x,
              Matrix &normed, Matrix &q, Matrix &k, Matrix &v)
 {
     layerNormRowsInto(normed, x, w.ln1Gamma, w.ln1Beta);
     if (qw) {
         const QuantizedMatrix &qa = quantScratch(normed);
-        Gemm::multiply(q, qa, qw->wq, Gemm::Trans::None,
-                       Gemm::Epilogue::withBias(w.bq));
-        Gemm::multiply(k, qa, qw->wk, Gemm::Trans::None,
-                       Gemm::Epilogue::withBias(w.bk));
-        Gemm::multiply(v, qa, qw->wv, Gemm::Trans::None,
-                       Gemm::Epilogue::withBias(w.bv));
+        projectInt8(q, qa, qw->wq, pk ? &pk->wq : nullptr,
+                    Gemm::Epilogue::withBias(w.bq));
+        projectInt8(k, qa, qw->wk, pk ? &pk->wk : nullptr,
+                    Gemm::Epilogue::withBias(w.bk));
+        projectInt8(v, qa, qw->wv, pk ? &pk->wv : nullptr,
+                    Gemm::Epilogue::withBias(w.bv));
         return;
     }
-    Gemm::multiply(q, normed, w.wq, Gemm::Trans::None,
-                   Gemm::Epilogue::withBias(w.bq));
-    Gemm::multiply(k, normed, w.wk, Gemm::Trans::None,
-                   Gemm::Epilogue::withBias(w.bk));
-    Gemm::multiply(v, normed, w.wv, Gemm::Trans::None,
-                   Gemm::Epilogue::withBias(w.bv));
+    projectFp32(q, normed, w.wq, pk ? &pk->wq : nullptr,
+                Gemm::Epilogue::withBias(w.bq));
+    projectFp32(k, normed, w.wk, pk ? &pk->wk : nullptr,
+                Gemm::Epilogue::withBias(w.bk));
+    projectFp32(v, normed, w.wv, pk ? &pk->wv : nullptr,
+                Gemm::Epilogue::withBias(w.bv));
 }
 
 // Output projection and residual, one fused call: x += W_O attn + b_O.
 void
 attentionPost(const VitEncoder::LayerWeights &w,
-              const VitEncoder::QuantizedLayerWeights *qw, Matrix &x,
+              const VitEncoder::QuantizedLayerWeights *qw,
+              const EncoderPlan::LayerPack *pk, Matrix &x,
               const Matrix &attn)
 {
     if (qw) {
-        Gemm::multiply(x, quantScratch(attn), qw->wo, Gemm::Trans::None,
-                       Gemm::Epilogue::accumulateWithBias(w.bo));
+        projectInt8(x, quantScratch(attn), qw->wo,
+                    pk ? &pk->wo : nullptr,
+                    Gemm::Epilogue::accumulateWithBias(w.bo));
         return;
     }
-    Gemm::multiply(x, attn, w.wo, Gemm::Trans::None,
-                   Gemm::Epilogue::accumulateWithBias(w.bo));
+    projectFp32(x, attn, w.wo, pk ? &pk->wo : nullptr,
+                Gemm::Epilogue::accumulateWithBias(w.bo));
 }
 
 // MLP block: x += W_2 GELU(W_1 LN2(x)). The GELU rides the first
@@ -91,22 +124,24 @@ attentionPost(const VitEncoder::LayerWeights &w,
 // pass over the model's largest activation matrix remains.
 void
 mlpBlock(const VitEncoder::LayerWeights &w,
-         const VitEncoder::QuantizedLayerWeights *qw, Matrix &x,
-         Matrix &normed, Matrix &hidden)
+         const VitEncoder::QuantizedLayerWeights *qw,
+         const EncoderPlan::LayerPack *pk, Matrix &x, Matrix &normed,
+         Matrix &hidden)
 {
     layerNormRowsInto(normed, x, w.ln2Gamma, w.ln2Beta);
     if (qw) {
-        Gemm::multiply(hidden, quantScratch(normed), qw->w1,
-                       Gemm::Trans::None,
-                       Gemm::Epilogue::withBiasGelu(w.b1));
-        Gemm::multiply(x, quantScratch(hidden), qw->w2, Gemm::Trans::None,
-                       Gemm::Epilogue::accumulateWithBias(w.b2));
+        projectInt8(hidden, quantScratch(normed), qw->w1,
+                    pk ? &pk->w1 : nullptr,
+                    Gemm::Epilogue::withBiasGelu(w.b1));
+        projectInt8(x, quantScratch(hidden), qw->w2,
+                    pk ? &pk->w2 : nullptr,
+                    Gemm::Epilogue::accumulateWithBias(w.b2));
         return;
     }
-    Gemm::multiply(hidden, normed, w.w1, Gemm::Trans::None,
-                   Gemm::Epilogue::withBiasGelu(w.b1));
-    Gemm::multiply(x, hidden, w.w2, Gemm::Trans::None,
-                   Gemm::Epilogue::accumulateWithBias(w.b2));
+    projectFp32(hidden, normed, w.w1, pk ? &pk->w1 : nullptr,
+                Gemm::Epilogue::withBiasGelu(w.b1));
+    projectFp32(x, hidden, w.w2, pk ? &pk->w2 : nullptr,
+                Gemm::Epilogue::accumulateWithBias(w.b2));
 }
 
 } // namespace
@@ -147,6 +182,90 @@ VitEncoder::VitEncoder(VitConfig config, AttentionKernelPtr kernel,
     }
 }
 
+VitEncoder::~VitEncoder() = default;
+
+const VitEncoder::QuantizedLayerWeights &
+VitEncoder::quantizedLayer(size_t i)
+{
+    ensureQuantizedWeights();
+    return qlayers_.at(i);
+}
+
+void
+VitEncoder::compilePlan()
+{
+    compilePlan(PlanOptions{});
+}
+
+void
+VitEncoder::compilePlan(const PlanOptions &opts)
+{
+    CallGuard guard(inFlight_, kConcurrentCall);
+
+    // Compile before detaching the old plan, so a throwing compile
+    // leaves the encoder in its previous state.
+    std::unique_ptr<const EncoderPlan> plan =
+        EncoderPlan::compile(*this, opts);
+
+    std::vector<std::unique_ptr<MultiHeadAttention>> mhas;
+    if (!plan->uniform()) {
+        // Heterogeneous schedule: one dispatch instance per layer.
+        // Kernel construction is deterministic (attention/zoo.h), so a
+        // layer whose spec names the encoder's own kernel type still
+        // computes bitwise-identically to eager execution.
+        mhas.reserve(cfg_.layers);
+        for (size_t l = 0; l < cfg_.layers; ++l)
+            mhas.push_back(std::make_unique<MultiHeadAttention>(
+                makeAttention(plan->spec(l).kernel), cfg_.heads));
+    }
+
+    // Pre-grow every activation buffer to the plan's high-water
+    // footprint, so steady-state forwards acquire recycled storage
+    // from an already-sized arena instead of growing it mid-request.
+    const size_t n = plan->maxTokens();
+    const size_t batch = plan->maxBatch();
+    const size_t d = cfg_.dModel;
+    const size_t h = cfg_.mlpHidden;
+    {
+        Workspace::Frame frame(ws_);
+        for (int slot = 0; slot < 6; ++slot)
+            ws_.acquire(n, d);
+        ws_.acquire(n, h);
+    }
+    bx_.resize(batch, n, d);
+    bnormed_.resize(batch, n, d);
+    bq_.resize(batch, n, d);
+    bk_.resize(batch, n, d);
+    bv_.resize(batch, n, d);
+    battn_.resize(batch, n, d);
+    bhidden_.resize(batch, n, h);
+    const std::vector<size_t> rows(batch, n);
+    rx_.resize(rows.data(), batch, d);
+    rq_.resize(rows.data(), batch, d);
+    rk_.resize(rows.data(), batch, d);
+    rv_.resize(rows.data(), batch, d);
+    rattn_.resize(rows.data(), batch, d);
+    rnormed_.resize(batch * n, d);
+    rhidden_.resize(batch * n, h);
+
+    plan_ = std::move(plan);
+    planMha_ = std::move(mhas);
+}
+
+void
+VitEncoder::clearPlan()
+{
+    CallGuard guard(inFlight_, kConcurrentCall);
+    plan_.reset();
+    planMha_.clear();
+}
+
+MultiHeadAttention &
+VitEncoder::mhaAt(size_t l)
+{
+    return planMha_.empty() ? mha_ : *planMha_[l];
+}
+
 void
 VitEncoder::forwardInto(const Matrix &x_in, ThreadPool &pool, Matrix &out)
 {
@@ -180,10 +299,12 @@ VitEncoder::forwardInto(const Matrix &x_in, ThreadPool &pool, Matrix &out)
     for (size_t l = 0; l < layers_.size(); ++l) {
         const LayerWeights &w = layers_[l];
         const QuantizedLayerWeights *qw = int8 ? &qlayers_[l] : nullptr;
-        attentionPre(w, qw, x, normed, q, k, v);
-        mha_.forwardInto(pool, q, k, v, attn);
-        attentionPost(w, qw, x, attn);
-        mlpBlock(w, qw, x, normed, hidden);
+        const EncoderPlan::LayerPack *pk =
+            plan_ ? &plan_->pack(l) : nullptr;
+        attentionPre(w, qw, pk, x, normed, q, k, v);
+        mhaAt(l).forwardInto(pool, q, k, v, attn);
+        attentionPost(w, qw, pk, x, attn);
+        mlpBlock(w, qw, pk, x, normed, hidden);
     }
 
     out.copyFrom(x);
@@ -234,21 +355,23 @@ VitEncoder::forwardBatchInto(const Batch &x_in, ThreadPool &pool,
     for (size_t l = 0; l < layers_.size(); ++l) {
         const LayerWeights &w = layers_[l];
         const QuantizedLayerWeights *qw = int8 ? &qlayers_[l] : nullptr;
+        const EncoderPlan::LayerPack *pk =
+            plan_ ? &plan_->pack(l) : nullptr;
         // Dense pre-attention stages, one image per task. The per-image
         // buffers are disjoint, so tasks never share floats, and GEMMs
         // issued inside a task stay sequential (the Gemm runner reports
         // width 1 on workers), so image-level parallelism is never
         // oversubscribed by intra-GEMM bands.
         pool.parallelFor(0, batch, [&](size_t b, size_t) {
-            attentionPre(w, qw, bx_[b], bnormed_[b], bq_[b], bk_[b],
+            attentionPre(w, qw, pk, bx_[b], bnormed_[b], bq_[b], bk_[b],
                          bv_[b]);
         });
         // Attention: B x heads work items through per-worker contexts.
-        mha_.forwardBatchInto(pool, bq_, bk_, bv_, battn_);
+        mhaAt(l).forwardBatchInto(pool, bq_, bk_, bv_, battn_);
         // Output projection, residual, and MLP, one image per task.
         pool.parallelFor(0, batch, [&](size_t b, size_t) {
-            attentionPost(w, qw, bx_[b], battn_[b]);
-            mlpBlock(w, qw, bx_[b], bnormed_[b], bhidden_[b]);
+            attentionPost(w, qw, pk, bx_[b], battn_[b]);
+            mlpBlock(w, qw, pk, bx_[b], bnormed_[b], bhidden_[b]);
         });
     }
 
@@ -285,14 +408,21 @@ VitEncoder::forwardRaggedInto(const RaggedBatch &x_in, ThreadPool &pool,
     const size_t d = cfg_.dModel;
     const size_t h = cfg_.mlpHidden;
 
-    // Effective keep schedule: the config's explicit per-layer vector
-    // wins; otherwise the global VITALITY_TOKENS knob expanded over
-    // the default staged schedule (all 1.0 when the knob is 1.0).
-    if (!cfg_.tokenKeep.empty())
+    // Effective keep schedule: a compiled plan froze its per-layer
+    // schedule at compile time; otherwise the config's explicit
+    // per-layer vector wins, then the global VITALITY_TOKENS knob
+    // expanded over the default staged schedule (all 1.0 when the
+    // knob is 1.0).
+    if (plan_) {
+        keepSched_.resize(cfg_.layers);
+        for (size_t l = 0; l < cfg_.layers; ++l)
+            keepSched_[l] = plan_->spec(l).tokenKeep;
+    } else if (!cfg_.tokenKeep.empty()) {
         keepSched_ = cfg_.tokenKeep;
-    else
+    } else {
         TokenPruner::buildSchedule(keepSched_, cfg_.layers,
                                    tokenKeepRatio());
+    }
 
     rx_.copyFrom(x_in);
 
@@ -303,6 +433,8 @@ VitEncoder::forwardRaggedInto(const RaggedBatch &x_in, ThreadPool &pool,
     for (size_t l = 0; l < layers_.size(); ++l) {
         const LayerWeights &w = layers_[l];
         const QuantizedLayerWeights *qw = int8 ? &qlayers_[l] : nullptr;
+        const EncoderPlan::LayerPack *pk =
+            plan_ ? &plan_->pack(l) : nullptr;
         const size_t total = rx_.totalRows();
         rnormed_.resize(total, d);
         rhidden_.resize(total, h);
@@ -316,13 +448,13 @@ VitEncoder::forwardRaggedInto(const RaggedBatch &x_in, ThreadPool &pool,
         // of which other rows share the multiply — so each image's
         // floats match its standalone forward exactly. Issued from the
         // calling thread, the GEMM fans row bands across the pool.
-        attentionPre(w, qw, rx_.buffer(), rnormed_, rq_.buffer(),
+        attentionPre(w, qw, pk, rx_.buffer(), rnormed_, rq_.buffer(),
                      rk_.buffer(), rv_.buffer());
         // Attention is the one stage that needs image boundaries:
         // B x heads ragged work items, each at its own token count.
-        mha_.forwardRaggedInto(pool, rq_, rk_, rv_, rattn_);
-        attentionPost(w, qw, rx_.buffer(), rattn_.buffer());
-        mlpBlock(w, qw, rx_.buffer(), rnormed_, rhidden_);
+        mhaAt(l).forwardRaggedInto(pool, rq_, rk_, rv_, rattn_);
+        attentionPost(w, qw, pk, rx_.buffer(), rattn_.buffer());
+        mlpBlock(w, qw, pk, rx_.buffer(), rnormed_, rhidden_);
         // Progressive pruning: rank by this layer's CLS-attention mass
         // (from the packed Q/K the layer just used) and compact the
         // survivors in place. keep=1.0 layers skip the pruner, which

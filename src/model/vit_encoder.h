@@ -32,6 +32,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "attention/attention.h"
@@ -46,7 +47,9 @@
 
 namespace vitality {
 
+class EncoderPlan;
 class Rng;
+struct PlanOptions;
 
 /** A stack of pre-norm transformer encoder layers. */
 class VitEncoder
@@ -88,9 +91,44 @@ class VitEncoder
     VitEncoder(VitConfig config, AttentionKernelPtr kernel,
                uint64_t seed = 0x5eedULL);
 
+    /** Out-of-line: plan_ holds an incomplete EncoderPlan here. */
+    ~VitEncoder();
+
     const VitConfig &config() const { return cfg_; }
     const AttentionKernel &kernel() const { return mha_.kernel(); }
     const LayerWeights &layer(size_t i) const { return layers_[i]; }
+
+    /**
+     * The layer's int8 weight twins, building the whole cache on first
+     * use (the same cache the lazy int8 forward path fills). Not
+     * thread-safe against concurrent forwards — call it where a
+     * forward would be legal.
+     */
+    const QuantizedLayerWeights &quantizedLayer(size_t i);
+
+    /**
+     * Compile and attach an execution plan (model/encoder_plan.h):
+     * prepacks every dense-stage weight into the microkernel panel
+     * layout, freezes the per-layer kernel/keep schedule, pre-grows
+     * the workspace arena and activation buffers to the plan's
+     * (maxBatch, maxTokens) high-water mark, and — for heterogeneous
+     * schedules — builds one MultiHeadAttention per layer. Subsequent
+     * forward/forwardBatch/forwardRagged calls execute through the
+     * plan; with a uniform schedule they are bitwise-identical to
+     * eager execution (test-asserted). Replaces any previous plan.
+     * Throws std::invalid_argument on malformed options and leaves the
+     * encoder unplanned.
+     */
+    void compilePlan(const PlanOptions &opts);
+
+    /** compilePlan with default options (uniform schedule, batch 1). */
+    void compilePlan();
+
+    /** The attached plan, or nullptr when executing eagerly. */
+    const EncoderPlan *plan() const { return plan_.get(); }
+
+    /** Detach the plan; the encoder executes eagerly again. */
+    void clearPlan();
 
     /**
      * Run the full encoder stack.
@@ -181,6 +219,10 @@ class VitEncoder
     /** Build qlayers_ from layers_ if not already cached. */
     void ensureQuantizedWeights();
 
+    /** Layer l's attention dispatch: the per-layer instance when the
+     * plan's schedule is heterogeneous, the shared mha_ otherwise. */
+    MultiHeadAttention &mhaAt(size_t l);
+
     VitConfig cfg_;
     MultiHeadAttention mha_;
     std::vector<LayerWeights> layers_;
@@ -205,6 +247,20 @@ class VitEncoder
     TokenPruner pruner_;
     /** Effective per-layer keep schedule, resolved per call. */
     std::vector<float> keepSched_;
+    /**
+     * Attached execution plan (compilePlan), or null for eager
+     * execution. The plan borrows the weight storage above, so the
+     * encoder owning it is what makes the borrow safe.
+     */
+    std::unique_ptr<const EncoderPlan> plan_;
+    /**
+     * Per-layer attention dispatch for heterogeneous plan schedules
+     * (one instance per layer, each wrapping that layer's kernel).
+     * Empty for uniform schedules — mhaAt() then returns mha_, which
+     * is what keeps uniform planned execution bitwise-identical to
+     * eager (identical object, identical float program).
+     */
+    std::vector<std::unique_ptr<MultiHeadAttention>> planMha_;
     /**
      * Set while a forward entry point is executing; the activation
      * buffers above (and ws_) are shared per instance, so a concurrent

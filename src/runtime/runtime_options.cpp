@@ -2,9 +2,11 @@
 
 #include <atomic>
 #include <cstdlib>
+#include <mutex>
 #include <sstream>
 #include <stdexcept>
 
+#include "attention/zoo.h"
 #include "base/logging.h"
 
 namespace vitality {
@@ -25,6 +27,13 @@ parseThreads(const char *text)
 // values live in (0, 1], so the sentinel is unambiguous. Same lazy
 // resolve-once contract as the Gemm knob atomics.
 std::atomic<float> g_tokenKeep{-1.0f};
+
+// Per-layer kernel schedule text. A string has no lock-free atomic, so
+// this knob is mutex-guarded instead of following the atomic pattern;
+// it is read once per plan compile, never on the hot path.
+std::mutex g_layersMutex;
+bool g_layersResolved = false;
+std::string g_layers;
 
 } // namespace
 
@@ -76,11 +85,58 @@ setTokenKeepRatio(float keep)
     g_tokenKeep.store(keep, std::memory_order_release);
 }
 
+std::optional<std::string>
+parseLayerKernels(const char *text)
+{
+    if (!text)
+        return std::nullopt;
+    try {
+        (void)parseLayerSchedule(text);
+    } catch (const std::invalid_argument &) {
+        return std::nullopt;
+    }
+    return std::string(text);
+}
+
+std::string
+layerKernelSchedule()
+{
+    std::lock_guard<std::mutex> lock(g_layersMutex);
+    if (!g_layersResolved) {
+        g_layersResolved = true;
+        const char *env = std::getenv("VITALITY_LAYERS");
+        if (env && *env) {
+            const std::optional<std::string> wanted =
+                parseLayerKernels(env);
+            if (wanted) {
+                g_layers = *wanted;
+            } else {
+                warn("VITALITY_LAYERS=%s not recognized (want "
+                     "\"kernel:lo-hi,...\", e.g. "
+                     "\"taylor:0-7,softmax:8-11\"); running every "
+                     "layer on the model's kernel",
+                     env);
+            }
+        }
+    }
+    return g_layers;
+}
+
+void
+setLayerKernelSchedule(const std::string &schedule)
+{
+    // Throws on malformed text before taking the lock.
+    (void)parseLayerSchedule(schedule);
+    std::lock_guard<std::mutex> lock(g_layersMutex);
+    g_layersResolved = true;
+    g_layers = schedule;
+}
+
 bool
 RuntimeOptions::empty() const
 {
     return !gemmBackend && !threads && !epilogueMode && !sparseMode &&
-           !quantMode && !tokenKeep;
+           !quantMode && !tokenKeep && !layerKernels;
 }
 
 RuntimeOptions
@@ -99,6 +155,8 @@ RuntimeOptions::resolved() const
         out.quantMode = Gemm::quantMode();
     if (!out.tokenKeep)
         out.tokenKeep = tokenKeepRatio();
+    if (!out.layerKernels)
+        out.layerKernels = layerKernelSchedule();
     return out;
 }
 
@@ -118,6 +176,14 @@ RuntimeOptions::apply() const
             strfmt("RuntimeOptions: token keep ratio %g outside (0, 1]",
                    static_cast<double>(*tokenKeep)));
     }
+    if (layerKernels) {
+        try {
+            (void)parseLayerSchedule(*layerKernels);
+        } catch (const std::invalid_argument &e) {
+            throw std::invalid_argument(
+                strfmt("RuntimeOptions: layer schedule: %s", e.what()));
+        }
+    }
     if (gemmBackend)
         Gemm::setActive(*gemmBackend);
     if (threads)
@@ -130,6 +196,8 @@ RuntimeOptions::apply() const
         Gemm::setQuantMode(*quantMode);
     if (tokenKeep)
         setTokenKeepRatio(*tokenKeep);
+    if (layerKernels)
+        setLayerKernelSchedule(*layerKernels);
 }
 
 RuntimeOptions
@@ -154,6 +222,8 @@ RuntimeOptions::fromEnv()
         out.quantMode = Gemm::parseQuantMode(env);
     if (const char *env = std::getenv("VITALITY_TOKENS"); env && *env)
         out.tokenKeep = parseTokenKeep(env);
+    if (const char *env = std::getenv("VITALITY_LAYERS"); env && *env)
+        out.layerKernels = parseLayerKernels(env);
     return out;
 }
 
@@ -176,6 +246,11 @@ RuntimeOptions::summary() const
     os << " tokens=";
     if (tokenKeep)
         os << *tokenKeep;
+    else
+        os << "-";
+    os << " layers=";
+    if (layerKernels)
+        os << (layerKernels->empty() ? "uniform" : *layerKernels);
     else
         os << "-";
     return os.str();

@@ -1,14 +1,15 @@
 /**
  * @file
- * RuntimeOptions: the one programmatic surface over the library's six
+ * RuntimeOptions: the one programmatic surface over the library's seven
  * execution knobs.
  *
  * Before this struct existed, pinning an execution mode meant knowing
  * the env variables (VITALITY_GEMM, VITALITY_THREADS,
- * VITALITY_EPILOGUE, VITALITY_SPARSE, VITALITY_QUANT, and now
- * VITALITY_TOKENS) and as many ad-hoc setters scattered across layers
- * (Gemm::setActive, Gemm::setMaxThreads, Gemm::setEpilogueMode,
- * setSparseExecMode, Gemm::setQuantMode, setTokenKeepRatio).
+ * VITALITY_EPILOGUE, VITALITY_SPARSE, VITALITY_QUANT, VITALITY_TOKENS,
+ * and now VITALITY_LAYERS) and as many ad-hoc setters scattered across
+ * layers (Gemm::setActive, Gemm::setMaxThreads, Gemm::setEpilogueMode,
+ * setSparseExecMode, Gemm::setQuantMode, setTokenKeepRatio,
+ * setLayerKernelSchedule).
  * RuntimeOptions gathers them into one struct of optional fields, and
  * defines THE resolution order, documented once, here:
  *
@@ -69,6 +70,26 @@ void setTokenKeepRatio(float keep);
 std::optional<float> parseTokenKeep(const char *text);
 /// @}
 
+/**
+ * @name Per-layer kernel schedule knob (VITALITY_LAYERS)
+ *
+ * The global per-layer attention-kernel schedule an EncoderPlan
+ * compiles in when neither PlanOptions nor the model's VitConfig pins
+ * one: a string in the attention/zoo.h grammar, e.g.
+ * "taylor:0-7,softmax:8-11"; uncovered layers run the model's base
+ * kernel. Empty = uniform (every layer runs the base kernel, the
+ * default). Lazily resolved from VITALITY_LAYERS on first read, same
+ * contract as the other knob resolvers; malformed text warns and falls
+ * back to uniform. Eager (unplanned) execution never consults it.
+ */
+/// @{
+std::string layerKernelSchedule();
+/** Throws std::invalid_argument on malformed text ("" is valid). */
+void setLayerKernelSchedule(const std::string &schedule);
+/** Validate schedule text; nullopt when malformed. */
+std::optional<std::string> parseLayerKernels(const char *text);
+/// @}
+
 struct RuntimeOptions
 {
     /** GEMM backend (VITALITY_GEMM; default: best available). */
@@ -91,6 +112,12 @@ struct RuntimeOptions
 
     /** Token keep-ratio in (0, 1] (VITALITY_TOKENS; default 1.0). */
     std::optional<float> tokenKeep;
+
+    /**
+     * Per-layer kernel schedule for compiled plans (VITALITY_LAYERS;
+     * default "" = uniform). Engaged-empty explicitly pins uniform.
+     */
+    std::optional<std::string> layerKernels;
 
     /** True when no field is engaged: apply() would be a no-op. */
     bool empty() const;
@@ -119,7 +146,7 @@ struct RuntimeOptions
     static RuntimeOptions current();
 
     /**
-     * Parse the six VITALITY_* variables into an options set:
+     * Parse the seven VITALITY_* variables into an options set:
      * engaged where the variable is set and well-formed, disengaged
      * otherwise (unset AND malformed — the lazy resolvers warn about
      * malformed text, this helper just skips it). Introspection /
@@ -131,7 +158,7 @@ struct RuntimeOptions
     /**
      * Human-readable one-liner, e.g.
      * "gemm=avx2 threads=0 epilogue=fused sparse=csr quant=off
-     * tokens=1" with "-" for disengaged fields.
+     * tokens=1 layers=uniform" with "-" for disengaged fields.
      */
     std::string summary() const;
 

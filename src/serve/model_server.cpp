@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "base/logging.h"
+#include "model/encoder_plan.h"
 
 namespace vitality {
 
@@ -58,6 +59,25 @@ ModelServer::addModel(const ModelConfig &config)
     Entry entry;
     entry.encoder = std::make_unique<VitEncoder>(
         config.preset, std::move(kernel), config.seed);
+    // Compile the execution plan at registration, so serving never
+    // packs a weight panel (or lazily quantizes a weight) after
+    // startup: the per-model schedule/keep pins are frozen here, the
+    // workspace is pre-grown to the policy's maxBatch, and the int8
+    // twins are built eagerly when this model pins (or the process
+    // defaults to) int8 execution. A malformed model-pinned schedule
+    // fails registration, not the first dispatch; an ambient
+    // VITALITY_LAYERS schedule too deep for this model is ignored with
+    // a warning (the model runs uniform) so one global knob cannot
+    // veto shallower models in the same process.
+    PlanOptions planOpts;
+    planOpts.layerKernels = config.options.layerKernels;
+    planOpts.tokenKeep = config.options.tokenKeep;
+    planOpts.maxBatch = config.policy.maxBatch;
+    planOpts.packInt8 = (config.options.quantMode
+                             ? *config.options.quantMode
+                             : Gemm::quantMode()) ==
+                        Gemm::QuantMode::Int8;
+    entry.encoder->compilePlan(planOpts);
     entry.batcher = std::make_unique<DynamicBatcher>(
         *entry.encoder, pool_, config.policy, config.options,
         &dispatchGate_);

@@ -13,6 +13,7 @@
 #include "tensor/gemm_epilogue.h"
 #include "tensor/gemm_int8.h"
 #include "tensor/ops.h"
+#include "tensor/packed_weights.h"
 #include "tensor/quantized_matrix.h"
 #include "tensor/workspace.h"
 
@@ -23,10 +24,12 @@ namespace detail {
 #if VITALITY_HAVE_AVX2
 // Defined in gemm_avx2.cpp, compiled with -mavx2 -mfma. Must only be
 // called after a runtime CPUID check: the whole translation unit is
-// built for the AVX2 ISA. Computes rows [rowBegin, rowEnd) of dst.
+// built for the AVX2 ISA. Computes rows [rowBegin, rowEnd) of dst. A
+// non-null packedB supplies prepacked full-k op(B) panels (jp stride
+// k * 16, the PackedMatrix layout) and skips the per-call B pack.
 void gemmAvx2(Matrix &dst, const Matrix &a, const Matrix &b,
               Gemm::Trans trans, size_t rowBegin, size_t rowEnd,
-              const Gemm::Epilogue &ep);
+              const Gemm::Epilogue &ep, const float *packedB = nullptr);
 #endif
 
 } // namespace detail
@@ -223,15 +226,18 @@ gemmScalar(Matrix &dst, const Matrix &a, const Matrix &b,
 void
 runBackend(Gemm::Backend backend, Matrix &dst, const Matrix &a,
            const Matrix &b, Gemm::Trans trans, size_t i0, size_t i1,
-           const Gemm::Epilogue &ep)
+           const Gemm::Epilogue &ep, const float *packedB)
 {
     switch (backend) {
     case Gemm::Backend::Scalar:
+        // The scalar backend is the unpack-free reference path: it
+        // reads the borrowed source operand directly, so prepacked
+        // panels are simply unused here.
         gemmScalar(dst, a, b, trans, i0, i1, ep);
         return;
     case Gemm::Backend::Avx2:
 #if VITALITY_HAVE_AVX2
-        detail::gemmAvx2(dst, a, b, trans, i0, i1, ep);
+        detail::gemmAvx2(dst, a, b, trans, i0, i1, ep, packedB);
         return;
 #else
         throw std::invalid_argument(
@@ -370,15 +376,17 @@ void
 runBackendInt8(Gemm::Backend backend, Matrix &dst,
                const QuantizedMatrix &a, const QuantizedMatrix &b,
                Gemm::Trans trans, size_t i0, size_t i1,
-               const int32_t *wsum, const Gemm::Epilogue &ep)
+               const int32_t *wsum, const Gemm::Epilogue &ep,
+               const int8_t *packedB)
 {
     switch (backend) {
     case Gemm::Backend::Scalar:
+        // Unpack-free reference path: reads the borrowed source.
         detail::gemmInt8Scalar(dst, a, b, trans, i0, i1, wsum, ep);
         return;
     case Gemm::Backend::Avx2:
 #if VITALITY_HAVE_AVX2
-        detail::gemmInt8Avx2(dst, a, b, trans, i0, i1, wsum, ep);
+        detail::gemmInt8Avx2(dst, a, b, trans, i0, i1, wsum, ep, packedB);
         return;
 #else
         throw std::invalid_argument(
@@ -387,6 +395,31 @@ runBackendInt8(Gemm::Backend backend, Matrix &dst,
 #endif
     }
     throw std::invalid_argument("gemm: unknown backend");
+}
+
+/**
+ * Fold a prepacked RHS's baked op(B) mode into the caller's transA.
+ * The result is the single Trans value the backends understand;
+ * combinations the backends cannot express (any with transA Trans::B,
+ * or A^T against a Trans::B-packed RHS) throw.
+ */
+Gemm::Trans
+combinePackedTrans(Gemm::Trans packed, Gemm::Trans transA)
+{
+    if (transA == Gemm::Trans::B) {
+        throw std::invalid_argument(
+            "gemm: prepacked multiply takes transA of None or A; op(B) "
+            "was baked at pack time");
+    }
+    if (packed == Gemm::Trans::B) {
+        if (transA == Gemm::Trans::A) {
+            throw std::invalid_argument(
+                "gemm: Trans::A cannot combine with a Trans::B-packed "
+                "RHS (no backend computes A^T * B^T)");
+        }
+        return Gemm::Trans::B;
+    }
+    return transA;
 }
 
 } // namespace
@@ -414,6 +447,39 @@ Gemm::multiply(Matrix &dst, const Matrix &a, const Matrix &b, Trans trans,
 void
 Gemm::multiply(Matrix &dst, const Matrix &a, const Matrix &b, Trans trans,
                const Epilogue &epilogue, Backend backend)
+{
+    multiplyImpl(dst, a, b, trans, epilogue, backend, nullptr);
+}
+
+void
+Gemm::multiply(Matrix &dst, const Matrix &a, const PackedMatrix &b,
+               Trans transA, const Epilogue &epilogue)
+{
+    multiply(dst, a, b, transA, epilogue, active());
+}
+
+void
+Gemm::multiply(Matrix &dst, const Matrix &a, const PackedMatrix &b,
+               Trans transA, const Epilogue &epilogue, Backend backend)
+{
+    if (!b.hasFp32()) {
+        throw std::invalid_argument(
+            "gemm: PackedMatrix holds no fp32 panels (packFp32 was "
+            "never called)");
+    }
+    // The borrowed source carries shape and data for validation and
+    // the scalar reference path; the stored panels feed the AVX2
+    // backend. Both views were produced by the same pack program, so
+    // the two backends see the same operand bit for bit.
+    multiplyImpl(dst, a, *b.sourceFp32(),
+                 combinePackedTrans(b.trans(), transA), epilogue, backend,
+                 b.fp32Panels());
+}
+
+void
+Gemm::multiplyImpl(Matrix &dst, const Matrix &a, const Matrix &b,
+                   Trans trans, const Epilogue &epilogue, Backend backend,
+                   const float *packedB)
 {
     // Guard the explicit-backend path too: without this, requesting
     // Avx2 on a host without the ISA would reach the microkernel and
@@ -478,7 +544,7 @@ Gemm::multiply(Matrix &dst, const Matrix &a, const Matrix &b, Trans trans,
         // to the fused path by construction (same order per element).
         Workspace::Frame frame(t_scalarArena);
         Matrix &product = t_scalarArena.acquire(dims.m, dims.n);
-        multiply(product, a, b, trans, Epilogue{}, backend);
+        multiplyImpl(product, a, b, trans, Epilogue{}, backend, packedB);
         for (size_t i = 0; i < dims.m; ++i)
             epilogueApplyRow(dst.rowPtr(i), product.rowPtr(i), dims.n, ep);
         return;
@@ -494,13 +560,14 @@ Gemm::multiply(Matrix &dst, const Matrix &a, const Matrix &b, Trans trans,
         runner = parallelRunner();
     const size_t bands = runner ? chooseBands(dims, runner, kBandRows) : 1;
     if (bands <= 1) {
-        runBackend(backend, dst, a, b, trans, 0, dims.m, ep);
+        runBackend(backend, dst, a, b, trans, 0, dims.m, ep, packedB);
         return;
     }
     // Fan microkernel-aligned row bands across the pool. Bands
     // partition the output rows, so every element is still one
     // uninterrupted ascending-k sum: results are bitwise-identical to
-    // the sequential call at any band count.
+    // the sequential call at any band count. Prepacked panels are
+    // read-only and shared by every band.
     const size_t panels = (dims.m + kBandRows - 1) / kBandRows;
     runner->run(bands, [&](size_t band) {
         const size_t p0 = panels * band / bands;
@@ -508,7 +575,7 @@ Gemm::multiply(Matrix &dst, const Matrix &a, const Matrix &b, Trans trans,
         const size_t i0 = p0 * kBandRows;
         const size_t i1 = std::min(p1 * kBandRows, dims.m);
         if (i0 < i1)
-            runBackend(backend, dst, a, b, trans, i0, i1, ep);
+            runBackend(backend, dst, a, b, trans, i0, i1, ep, packedB);
     });
 }
 
@@ -531,6 +598,39 @@ void
 Gemm::multiply(Matrix &dst, const QuantizedMatrix &a,
                const QuantizedMatrix &b, Trans trans,
                const Epilogue &epilogue, Backend backend)
+{
+    multiplyImplInt8(dst, a, b, trans, epilogue, backend, nullptr,
+                     nullptr);
+}
+
+void
+Gemm::multiply(Matrix &dst, const QuantizedMatrix &a,
+               const PackedMatrix &b, Trans transA,
+               const Epilogue &epilogue)
+{
+    multiply(dst, a, b, transA, epilogue, active());
+}
+
+void
+Gemm::multiply(Matrix &dst, const QuantizedMatrix &a,
+               const PackedMatrix &b, Trans transA,
+               const Epilogue &epilogue, Backend backend)
+{
+    if (!b.hasInt8()) {
+        throw std::invalid_argument(
+            "gemm: PackedMatrix holds no int8 panels (packInt8 was "
+            "never called)");
+    }
+    multiplyImplInt8(dst, a, *b.sourceInt8(),
+                     combinePackedTrans(b.trans(), transA), epilogue,
+                     backend, b.int8Panels(), b.wsum());
+}
+
+void
+Gemm::multiplyImplInt8(Matrix &dst, const QuantizedMatrix &a,
+                       const QuantizedMatrix &b, Trans trans,
+                       const Epilogue &epilogue, Backend backend,
+                       const int8_t *packedB, const int32_t *packedWsum)
 {
     if (!available(backend)) {
         throw std::invalid_argument(
@@ -600,34 +700,41 @@ Gemm::multiply(Matrix &dst, const QuantizedMatrix &a,
         // Bitwise-identical to the fused path by construction.
         Workspace::Frame frame(t_scalarArena);
         Matrix &product = t_scalarArena.acquire(dims.m, dims.n);
-        multiply(product, a, b, trans, Epilogue{}, backend);
+        multiplyImplInt8(product, a, b, trans, Epilogue{}, backend,
+                         packedB, packedWsum);
         for (size_t i = 0; i < dims.m; ++i)
             epilogueApplyRow(dst.rowPtr(i), product.rowPtr(i), dims.n, ep);
         return;
     }
 
     // Per-column sums of op(B), shared by every band: the zero-point
-    // correction term za_i * wsum_j (gemm.h). Thread-local and read-only
-    // once filled, so the band closures may alias it freely.
+    // correction term za_i * wsum_j (gemm.h). A prepacked RHS carries
+    // them from pack time (identical integers — exact sums); otherwise
+    // they are computed per call into a thread-local, read-only once
+    // filled, so the band closures may alias it freely.
+    const int32_t *wsum = packedWsum;
     static thread_local std::vector<int32_t> t_wsum;
-    t_wsum.resize(dims.n);
-    int32_t *wsum = t_wsum.data();
-    if (trans == Trans::B) {
-        // op(B)(kk, j) = b(j, kk): column sums are b's row sums.
-        for (size_t j = 0; j < dims.n; ++j) {
-            const int8_t *brow = b.rowPtr(j);
-            int32_t s = 0;
-            for (size_t kk = 0; kk < dims.k; ++kk)
-                s += brow[kk];
-            wsum[j] = s;
+    if (!wsum) {
+        t_wsum.resize(dims.n);
+        int32_t *ws = t_wsum.data();
+        if (trans == Trans::B) {
+            // op(B)(kk, j) = b(j, kk): column sums are b's row sums.
+            for (size_t j = 0; j < dims.n; ++j) {
+                const int8_t *brow = b.rowPtr(j);
+                int32_t s = 0;
+                for (size_t kk = 0; kk < dims.k; ++kk)
+                    s += brow[kk];
+                ws[j] = s;
+            }
+        } else {
+            std::fill(ws, ws + dims.n, 0);
+            for (size_t kk = 0; kk < dims.k; ++kk) {
+                const int8_t *brow = b.rowPtr(kk);
+                for (size_t j = 0; j < dims.n; ++j)
+                    ws[j] += brow[j];
+            }
         }
-    } else {
-        std::fill(wsum, wsum + dims.n, 0);
-        for (size_t kk = 0; kk < dims.k; ++kk) {
-            const int8_t *brow = b.rowPtr(kk);
-            for (size_t j = 0; j < dims.n; ++j)
-                wsum[j] += brow[j];
-        }
+        wsum = ws;
     }
 
     std::shared_ptr<const ParallelRunner> runner;
@@ -637,7 +744,8 @@ Gemm::multiply(Matrix &dst, const QuantizedMatrix &a,
     const size_t bands =
         runner ? chooseBands(dims, runner, kQuantBandRows) : 1;
     if (bands <= 1) {
-        runBackendInt8(backend, dst, a, b, trans, 0, dims.m, wsum, ep);
+        runBackendInt8(backend, dst, a, b, trans, 0, dims.m, wsum, ep,
+                       packedB);
         return;
     }
     // Bands partition the output rows and integer accumulation is
@@ -650,7 +758,8 @@ Gemm::multiply(Matrix &dst, const QuantizedMatrix &a,
         const size_t i0 = p0 * kQuantBandRows;
         const size_t i1 = std::min(p1 * kQuantBandRows, dims.m);
         if (i0 < i1)
-            runBackendInt8(backend, dst, a, b, trans, i0, i1, wsum, ep);
+            runBackendInt8(backend, dst, a, b, trans, i0, i1, wsum, ep,
+                           packedB);
     });
 }
 

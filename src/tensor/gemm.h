@@ -161,6 +161,7 @@
 
 namespace vitality {
 
+class PackedMatrix;
 class QuantizedMatrix;
 
 class Gemm
@@ -331,6 +332,41 @@ class Gemm
                          const QuantizedMatrix &b, Trans trans,
                          const Epilogue &epilogue, Backend backend);
 
+    /**
+     * C = epilogue(op(A) * op(B)) with a PREPACKED right-hand side
+     * (tensor/packed_weights.h): the AVX2 backend consumes b's stored
+     * panels and skips its per-call pack loop; the scalar backend runs
+     * its unpack-free reference path against b's borrowed source.
+     * Either way the result is bitwise-identical to the eager call on
+     * the same backend. op(B) was baked at pack time, so transA names
+     * only the A side: Trans::None or Trans::A (Trans::B throws, as
+     * does Trans::A against a Trans::B-packed b — the backends cannot
+     * express A^T * B^T). b must hold fp32 panels (packFp32).
+     */
+    static void multiply(Matrix &dst, const Matrix &a,
+                         const PackedMatrix &b, Trans transA,
+                         const Epilogue &epilogue);
+
+    /** Same, on an explicitly chosen backend (throws if unavailable). */
+    static void multiply(Matrix &dst, const Matrix &a,
+                         const PackedMatrix &b, Trans transA,
+                         const Epilogue &epilogue, Backend backend);
+
+    /**
+     * INT8 twin of the prepacked multiply: b must hold int8 panels
+     * (packInt8), whose pack-time per-column weight sums also replace
+     * the dispatcher's per-call wsum computation. transA restrictions
+     * as above; operand-kind restrictions as the eager int8 overloads.
+     */
+    static void multiply(Matrix &dst, const QuantizedMatrix &a,
+                         const PackedMatrix &b, Trans transA,
+                         const Epilogue &epilogue);
+
+    /** Same, on an explicitly chosen backend (throws if unavailable). */
+    static void multiply(Matrix &dst, const QuantizedMatrix &a,
+                         const PackedMatrix &b, Trans transA,
+                         const Epilogue &epilogue, Backend backend);
+
     /** The backend multiply() currently dispatches to. */
     static Backend active();
 
@@ -414,6 +450,29 @@ class Gemm
 
     /** Parse a VITALITY_QUANT value; nullopt on unrecognized text. */
     static std::optional<QuantMode> parseQuantMode(const std::string &name);
+
+  private:
+    /**
+     * The one fp32 execution body every fp32 overload funnels into. A
+     * non-null packedB carries prepacked full-k op(B) panels (the
+     * PackedMatrix layout); the AVX2 backend consumes them in place of
+     * its per-call pack, the scalar backend ignores them and reads b.
+     */
+    static void multiplyImpl(Matrix &dst, const Matrix &a,
+                             const Matrix &b, Trans trans,
+                             const Epilogue &epilogue, Backend backend,
+                             const float *packedB);
+
+    /**
+     * The int8 twin: packedB carries prepacked k-quad panels and
+     * packedWsum the pack-time per-column weight sums (both null on
+     * the eager path, where wsum is computed per call).
+     */
+    static void multiplyImplInt8(Matrix &dst, const QuantizedMatrix &a,
+                                 const QuantizedMatrix &b, Trans trans,
+                                 const Epilogue &epilogue,
+                                 Backend backend, const int8_t *packedB,
+                                 const int32_t *packedWsum);
 };
 
 } // namespace vitality

@@ -65,6 +65,7 @@
 #include "tensor/avx2_math.h"
 #include "tensor/gemm.h"
 #include "tensor/gemm_epilogue.h"
+#include "tensor/gemm_pack.h"
 #include "tensor/ops.h"
 #include "tensor/transcendental.h"
 #include "tensor/workspace.h"
@@ -72,18 +73,12 @@
 namespace vitality {
 namespace detail {
 
-namespace {
-
-constexpr size_t kMr = 6;   ///< Microkernel rows (A panel height).
-constexpr size_t kNr = 16;  ///< Microkernel cols (B panel width, 2 ymm).
-constexpr size_t kKc = 256; ///< k-dimension cache-block depth.
-constexpr size_t kNc = 256; ///< n-dimension column-block width.
-
-// The vectorized polynomial GELU (Act::GeluFast) and its exp2/tanh
-// cores live in tensor/avx2_math.h, shared with the int8 backend so
-// both write-backs run the identical bitwise program.
-
-} // namespace
+// Panel geometry (kMr, kNr, kKc, kNc) and the packAPanel/packBPanel
+// helpers live in tensor/gemm_pack.h, shared with the weight-prepack
+// path so both produce byte-identical panels. The vectorized
+// polynomial GELU (Act::GeluFast) and its exp2/tanh cores live in
+// tensor/avx2_math.h, shared with the int8 backend so both write-backs
+// run the identical bitwise program.
 
 /**
  * 8-lane twin of the scalar approx row softmax in tensor/ops.cpp
@@ -195,71 +190,6 @@ quantizeRowAvx2(float *dst, const float *src, size_t count,
 }
 
 namespace {
-
-/**
- * Pack op(A) rows [i0, i0+rows) into a kMr x k panel, layout
- * pa[kk * kMr + r], zero-padded to kMr rows.
- */
-void
-packAPanel(float *pa, const Matrix &a, Gemm::Trans trans, size_t i0,
-           size_t rows, size_t k)
-{
-    if (trans == Gemm::Trans::A) {
-        // op(A)(i, kk) = a(kk, i): each kk reads kMr contiguous floats.
-        for (size_t kk = 0; kk < k; ++kk) {
-            const float *arow = a.rowPtr(kk) + i0;
-            float *dst = pa + kk * kMr;
-            size_t r = 0;
-            for (; r < rows; ++r)
-                dst[r] = arow[r];
-            for (; r < kMr; ++r)
-                dst[r] = 0.0f;
-        }
-        return;
-    }
-    // op(A)(i, kk) = a(i, kk): walk the panel's rows in parallel.
-    for (size_t kk = 0; kk < k; ++kk) {
-        float *dst = pa + kk * kMr;
-        size_t r = 0;
-        for (; r < rows; ++r)
-            dst[r] = a.rowPtr(i0 + r)[kk];
-        for (; r < kMr; ++r)
-            dst[r] = 0.0f;
-    }
-}
-
-/**
- * Pack the [k0, k1) slice of op(B) cols [j0, j0+cols) into a
- * (k1-k0) x kNr panel, layout pb[(kk-k0) * kNr + c], zero-padded to
- * kNr cols.
- */
-void
-packBPanel(float *pb, const Matrix &b, Gemm::Trans trans, size_t j0,
-           size_t cols, size_t k0, size_t k1)
-{
-    if (trans == Gemm::Trans::B) {
-        // op(B)(kk, j) = b(j, kk): each packed column is a row of b.
-        for (size_t c = 0; c < cols; ++c) {
-            const float *brow = b.rowPtr(j0 + c);
-            for (size_t kk = k0; kk < k1; ++kk)
-                pb[(kk - k0) * kNr + c] = brow[kk];
-        }
-        for (size_t c = cols; c < kNr; ++c)
-            for (size_t kk = k0; kk < k1; ++kk)
-                pb[(kk - k0) * kNr + c] = 0.0f;
-        return;
-    }
-    // op(B)(kk, j) = b(kk, j): contiguous strips per kk.
-    for (size_t kk = k0; kk < k1; ++kk) {
-        const float *brow = b.rowPtr(kk) + j0;
-        float *dst = pb + (kk - k0) * kNr;
-        size_t c = 0;
-        for (; c < cols; ++c)
-            dst[c] = brow[c];
-        for (; c < kNr; ++c)
-            dst[c] = 0.0f;
-    }
-}
 
 /**
  * cout[0:6, 0:16] = (cin ? cin : 0) + A-panel * B-panel over k steps.
@@ -396,7 +326,8 @@ epilogueStoreTile(float *tile, Matrix &dst, size_t i0, size_t j0,
 
 void
 gemmAvx2(Matrix &dst, const Matrix &a, const Matrix &b, Gemm::Trans trans,
-         size_t rowBegin, size_t rowEnd, const Gemm::Epilogue &ep)
+         size_t rowBegin, size_t rowEnd, const Gemm::Epilogue &ep,
+         const float *packedB)
 {
     const size_t n = dst.cols();
     const size_t k = trans == Gemm::Trans::A ? a.rows() : a.cols();
@@ -408,11 +339,16 @@ gemmAvx2(Matrix &dst, const Matrix &a, const Matrix &b, Gemm::Trans trans,
     // Gemm-private packing arena: per worker thread, recycled across
     // calls, so hot-path multiplies allocate nothing in steady state.
     // op(A) is packed whole (each kc chunk of it is swept once per B
-    // panel); op(B) is packed one kc x kNr chunk at a time.
+    // panel); op(B) is packed one kc x kNr chunk at a time — unless the
+    // caller supplies prepacked full-k panels (packedB, jp stride
+    // k * kNr), in which case the pack loop is skipped and the
+    // microkernel reads the [k0, k1) slice at packedB + jp * k * kNr +
+    // k0 * kNr, byte-identical to what packBPanel would have written.
     static thread_local Workspace tls;
     Workspace::Frame frame(tls);
     float *packedA = tls.acquireAligned(mPanels * k * kMr);
-    float *pb = tls.acquireAligned(std::min(k, kKc) * kNr);
+    float *pb =
+        packedB ? nullptr : tls.acquireAligned(std::min(k, kKc) * kNr);
     float *tile = tls.acquireAligned(kMr * kNr);
     // With an accumulate epilogue the old C must survive until the
     // fused store of the last chunk, so inter-chunk partials live in a
@@ -447,7 +383,13 @@ gemmAvx2(Matrix &dst, const Matrix &a, const Matrix &b, Gemm::Trans trans,
         for (size_t jp = jcBegin; jp < jcEnd; ++jp) {
             const size_t j0 = jp * kNr;
             const size_t nEff = std::min(kNr, n - j0);
-            packBPanel(pb, b, trans, j0, nEff, k0, k1);
+            const float *pbp;
+            if (packedB) {
+                pbp = packedB + jp * k * kNr + k0 * kNr;
+            } else {
+                packBPanel(pb, b, trans, j0, nEff, k0, k1);
+                pbp = pb;
+            }
             for (size_t ip = 0; ip < mPanels; ++ip) {
                 const size_t i0 = rowBegin + ip * kMr;
                 const size_t mEff = std::min(kMr, rowEnd - i0);
@@ -477,10 +419,10 @@ gemmAvx2(Matrix &dst, const Matrix &a, const Matrix &b, Gemm::Trans trans,
                 }
 
                 if (!fuse && fullTile) {
-                    microKernel6x16(k1 - k0, pa, pb, cin, ldcin,
+                    microKernel6x16(k1 - k0, pa, pbp, cin, ldcin,
                                     prow(i0) + j0, n);
                 } else {
-                    microKernel6x16(k1 - k0, pa, pb, cin, ldcin, tile,
+                    microKernel6x16(k1 - k0, pa, pbp, cin, ldcin, tile,
                                     kNr);
                     if (fuse) {
                         epilogueStoreTile(tile, dst, i0, j0, mEff, nEff,

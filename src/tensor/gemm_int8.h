@@ -83,12 +83,17 @@ void gemmInt8Scalar(Matrix &dst, const QuantizedMatrix &a,
  * Same contract on the AVX2 backend: 4x16 microkernel over packed
  * k-quad panels (maddubs/madd into int32 accumulators), vectorized
  * dequant write-back on full tiles, dequantEpilogueRow on ragged
- * edges. Bitwise-identical to gemmInt8Scalar by construction.
+ * edges. Bitwise-identical to gemmInt8Scalar by construction. A
+ * non-null packedB supplies prepacked full-k op(B) panels (jp stride
+ * quads * 64, the PackedMatrix layout) and skips the per-call B pack;
+ * the panels are byte-identical to packBPanelInt8 output, so the
+ * result is unchanged.
  */
 void gemmInt8Avx2(Matrix &dst, const QuantizedMatrix &a,
                   const QuantizedMatrix &b, Gemm::Trans trans,
                   size_t rowBegin, size_t rowEnd, const int32_t *wsum,
-                  const Gemm::Epilogue &ep);
+                  const Gemm::Epilogue &ep,
+                  const int8_t *packedB = nullptr);
 
 /**
  * 8-lane twin of the scalar activation-quantization group loop in

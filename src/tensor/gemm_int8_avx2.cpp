@@ -54,91 +54,17 @@
 #include "tensor/avx2_math.h"
 #include "tensor/gemm.h"
 #include "tensor/gemm_int8.h"
+#include "tensor/gemm_pack.h"
 #include "tensor/quantized_matrix.h"
 
 namespace vitality {
 namespace detail {
 
+// Panel geometry (kMr8, kNr8) and the packAPanelInt8/packBPanelInt8
+// k-quad packers live in tensor/gemm_pack.h, shared with the
+// weight-prepack path so both produce byte-identical panels.
+
 namespace {
-
-constexpr size_t kMr8 = 4;  ///< Microkernel rows (A panel height).
-constexpr size_t kNr8 = 16; ///< Microkernel cols (B panel width, 2 ymm).
-
-/**
- * Pack op(A) rows [i0, i0+rows) into a panel of k-quads, layout
- * pa[q * 16 + r * 4 + t] for quad q, row r, byte t (k index 4q + t),
- * zero-padded to 4 rows and a whole quad.
- */
-void
-packAPanelInt8(int8_t *pa, const QuantizedMatrix &a, Gemm::Trans trans,
-               size_t i0, size_t rows, size_t k, size_t quads)
-{
-    if (trans != Gemm::Trans::A && rows == kMr8 && k == quads * 4) {
-        // Interior fast path: four aligned 4-byte row strips per quad.
-        for (size_t q = 0; q < quads; ++q) {
-            int8_t *dst = pa + q * kMr8 * 4;
-            for (size_t r = 0; r < kMr8; ++r)
-                std::memcpy(dst + r * 4, a.rowPtr(i0 + r) + q * 4, 4);
-        }
-        return;
-    }
-    for (size_t q = 0; q < quads; ++q) {
-        int8_t *dst = pa + q * kMr8 * 4;
-        for (size_t r = 0; r < kMr8; ++r) {
-            for (size_t t = 0; t < 4; ++t) {
-                const size_t kk = q * 4 + t;
-                int8_t v = 0;
-                if (r < rows && kk < k)
-                    v = trans == Gemm::Trans::A
-                            ? a.rowPtr(kk)[i0 + r]
-                            : a.rowPtr(i0 + r)[kk];
-                dst[r * 4 + t] = v;
-            }
-        }
-    }
-}
-
-/**
- * Pack op(B) columns [j0, j0+cols) into a panel of k-quads, layout
- * pb[q * 64 + c * 4 + t] for quad q, column c, byte t (k index
- * 4q + t), zero-padded to 16 columns and a whole quad.
- */
-void
-packBPanelInt8(int8_t *pb, const QuantizedMatrix &b, Gemm::Trans trans,
-               size_t j0, size_t cols, size_t k, size_t quads)
-{
-    if (trans == Gemm::Trans::None && cols == kNr8 && k == quads * 4) {
-        // Interior fast path: interleave four consecutive B rows.
-        for (size_t q = 0; q < quads; ++q) {
-            const int8_t *r0 = b.rowPtr(q * 4 + 0) + j0;
-            const int8_t *r1 = b.rowPtr(q * 4 + 1) + j0;
-            const int8_t *r2 = b.rowPtr(q * 4 + 2) + j0;
-            const int8_t *r3 = b.rowPtr(q * 4 + 3) + j0;
-            int8_t *dst = pb + q * kNr8 * 4;
-            for (size_t c = 0; c < kNr8; ++c) {
-                dst[c * 4 + 0] = r0[c];
-                dst[c * 4 + 1] = r1[c];
-                dst[c * 4 + 2] = r2[c];
-                dst[c * 4 + 3] = r3[c];
-            }
-        }
-        return;
-    }
-    for (size_t q = 0; q < quads; ++q) {
-        int8_t *dst = pb + q * kNr8 * 4;
-        for (size_t c = 0; c < kNr8; ++c) {
-            for (size_t t = 0; t < 4; ++t) {
-                const size_t kk = q * 4 + t;
-                int8_t v = 0;
-                if (c < cols && kk < k)
-                    v = trans == Gemm::Trans::B
-                            ? b.rowPtr(j0 + c)[kk]
-                            : b.rowPtr(kk)[j0 + c];
-                dst[c * 4 + t] = v;
-            }
-        }
-    }
-}
 
 /**
  * tile[0:4, 0:16] = A-panel * B-panel over all k-quads, exact int32.
@@ -360,7 +286,8 @@ quantizeActivationSpanAvx2(int8_t *dst, const float *src, size_t n,
 void
 gemmInt8Avx2(Matrix &dst, const QuantizedMatrix &a,
              const QuantizedMatrix &b, Gemm::Trans trans, size_t rowBegin,
-             size_t rowEnd, const int32_t *wsum, const Gemm::Epilogue &ep)
+             size_t rowEnd, const int32_t *wsum, const Gemm::Epilogue &ep,
+             const int8_t *packedB)
 {
     const size_t n = dst.cols();
     const size_t k = trans == Gemm::Trans::A ? a.rows() : a.cols();
@@ -372,11 +299,14 @@ gemmInt8Avx2(Matrix &dst, const QuantizedMatrix &a,
 
     // Packed panels and the write-back tile live in per-thread
     // recycled buffers, so steady-state multiplies allocate nothing
-    // (the Workspace arena is float-typed; these are bytes).
+    // (the Workspace arena is float-typed; these are bytes). With
+    // prepacked op(B) panels (packedB, jp stride quads * kNr8 * 4) the
+    // per-call B pack is skipped entirely.
     static thread_local std::vector<int8_t> t_pa, t_pb;
     static thread_local std::vector<int32_t> t_tile;
     t_pa.resize(mPanels * quads * kMr8 * 4);
-    t_pb.resize(quads * kNr8 * 4);
+    if (!packedB)
+        t_pb.resize(quads * kNr8 * 4);
     t_tile.resize(kMr8 * kNr8);
 
     for (size_t ip = 0; ip < mPanels; ++ip) {
@@ -388,13 +318,19 @@ gemmInt8Avx2(Matrix &dst, const QuantizedMatrix &a,
     for (size_t jp = 0; jp < nPanels; ++jp) {
         const size_t j0 = jp * kNr8;
         const size_t nEff = std::min(kNr8, n - j0);
-        packBPanelInt8(t_pb.data(), b, trans, j0, nEff, k, quads);
+        const int8_t *pbp;
+        if (packedB) {
+            pbp = packedB + jp * quads * kNr8 * 4;
+        } else {
+            packBPanelInt8(t_pb.data(), b, trans, j0, nEff, k, quads);
+            pbp = t_pb.data();
+        }
         for (size_t ip = 0; ip < mPanels; ++ip) {
             const size_t i0 = rowBegin + ip * kMr8;
             const size_t mEff = std::min(kMr8, rowEnd - i0);
             microKernelInt8_4x16(quads,
                                  t_pa.data() + ip * quads * kMr8 * 4,
-                                 t_pb.data(), t_tile.data());
+                                 pbp, t_tile.data());
             dequantStoreTile(t_tile.data(), dst, i0, j0, mEff, nEff, a,
                              bscale, wsum, ep);
         }

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Definitions of the shared operand-panel packers (see gemm_pack.h).
+ * Bodies moved verbatim from gemm_avx2.cpp / gemm_int8_avx2.cpp —
+ * exact element movement, bitwise-identical panels regardless of
+ * which TU they are called from.
+ */
+
+#include "tensor/gemm_pack.h"
+
+#include <cstring>
+
+#include "tensor/matrix.h"
+#include "tensor/quantized_matrix.h"
+
+namespace vitality {
+namespace detail {
+
+void
+packAPanel(float *pa, const Matrix &a, Gemm::Trans trans, size_t i0,
+           size_t rows, size_t k)
+{
+    if (trans == Gemm::Trans::A) {
+        // op(A)(i, kk) = a(kk, i): each kk reads kMr contiguous floats.
+        for (size_t kk = 0; kk < k; ++kk) {
+            const float *arow = a.rowPtr(kk) + i0;
+            float *dst = pa + kk * kMr;
+            size_t r = 0;
+            for (; r < rows; ++r)
+                dst[r] = arow[r];
+            for (; r < kMr; ++r)
+                dst[r] = 0.0f;
+        }
+        return;
+    }
+    // op(A)(i, kk) = a(i, kk): walk the panel's rows in parallel.
+    for (size_t kk = 0; kk < k; ++kk) {
+        float *dst = pa + kk * kMr;
+        size_t r = 0;
+        for (; r < rows; ++r)
+            dst[r] = a.rowPtr(i0 + r)[kk];
+        for (; r < kMr; ++r)
+            dst[r] = 0.0f;
+    }
+}
+
+void
+packBPanel(float *pb, const Matrix &b, Gemm::Trans trans, size_t j0,
+           size_t cols, size_t k0, size_t k1)
+{
+    if (trans == Gemm::Trans::B) {
+        // op(B)(kk, j) = b(j, kk): each packed column is a row of b.
+        for (size_t c = 0; c < cols; ++c) {
+            const float *brow = b.rowPtr(j0 + c);
+            for (size_t kk = k0; kk < k1; ++kk)
+                pb[(kk - k0) * kNr + c] = brow[kk];
+        }
+        for (size_t c = cols; c < kNr; ++c)
+            for (size_t kk = k0; kk < k1; ++kk)
+                pb[(kk - k0) * kNr + c] = 0.0f;
+        return;
+    }
+    // op(B)(kk, j) = b(kk, j): contiguous strips per kk.
+    for (size_t kk = k0; kk < k1; ++kk) {
+        const float *brow = b.rowPtr(kk) + j0;
+        float *dst = pb + (kk - k0) * kNr;
+        size_t c = 0;
+        for (; c < cols; ++c)
+            dst[c] = brow[c];
+        for (; c < kNr; ++c)
+            dst[c] = 0.0f;
+    }
+}
+
+void
+packAPanelInt8(int8_t *pa, const QuantizedMatrix &a, Gemm::Trans trans,
+               size_t i0, size_t rows, size_t k, size_t quads)
+{
+    if (trans != Gemm::Trans::A && rows == kMr8 && k == quads * 4) {
+        // Interior fast path: four aligned 4-byte row strips per quad.
+        for (size_t q = 0; q < quads; ++q) {
+            int8_t *dst = pa + q * kMr8 * 4;
+            for (size_t r = 0; r < kMr8; ++r)
+                std::memcpy(dst + r * 4, a.rowPtr(i0 + r) + q * 4, 4);
+        }
+        return;
+    }
+    for (size_t q = 0; q < quads; ++q) {
+        int8_t *dst = pa + q * kMr8 * 4;
+        for (size_t r = 0; r < kMr8; ++r) {
+            for (size_t t = 0; t < 4; ++t) {
+                const size_t kk = q * 4 + t;
+                int8_t v = 0;
+                if (r < rows && kk < k)
+                    v = trans == Gemm::Trans::A
+                            ? a.rowPtr(kk)[i0 + r]
+                            : a.rowPtr(i0 + r)[kk];
+                dst[r * 4 + t] = v;
+            }
+        }
+    }
+}
+
+void
+packBPanelInt8(int8_t *pb, const QuantizedMatrix &b, Gemm::Trans trans,
+               size_t j0, size_t cols, size_t k, size_t quads)
+{
+    if (trans == Gemm::Trans::None && cols == kNr8 && k == quads * 4) {
+        // Interior fast path: interleave four consecutive B rows.
+        for (size_t q = 0; q < quads; ++q) {
+            const int8_t *r0 = b.rowPtr(q * 4 + 0) + j0;
+            const int8_t *r1 = b.rowPtr(q * 4 + 1) + j0;
+            const int8_t *r2 = b.rowPtr(q * 4 + 2) + j0;
+            const int8_t *r3 = b.rowPtr(q * 4 + 3) + j0;
+            int8_t *dst = pb + q * kNr8 * 4;
+            for (size_t c = 0; c < kNr8; ++c) {
+                dst[c * 4 + 0] = r0[c];
+                dst[c * 4 + 1] = r1[c];
+                dst[c * 4 + 2] = r2[c];
+                dst[c * 4 + 3] = r3[c];
+            }
+        }
+        return;
+    }
+    for (size_t q = 0; q < quads; ++q) {
+        int8_t *dst = pb + q * kNr8 * 4;
+        for (size_t c = 0; c < kNr8; ++c) {
+            for (size_t t = 0; t < 4; ++t) {
+                const size_t kk = q * 4 + t;
+                int8_t v = 0;
+                if (c < cols && kk < k)
+                    v = trans == Gemm::Trans::B
+                            ? b.rowPtr(j0 + c)[kk]
+                            : b.rowPtr(kk)[j0 + c];
+                dst[c * 4 + t] = v;
+            }
+        }
+    }
+}
+
+} // namespace detail
+} // namespace vitality

@@ -1,0 +1,140 @@
+#include "tensor/packed_weights.h"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+
+#include "base/logging.h"
+#include "tensor/gemm_pack.h"
+#include "tensor/quantized_matrix.h"
+
+namespace vitality {
+
+namespace {
+
+/** Cache-line alignment for panel bases (see the header's rationale). */
+constexpr size_t kPanelAlign = 64;
+
+/**
+ * Size v to hold count elements behind a kPanelAlign-aligned base and
+ * return that base. The vector over-allocates by one alignment unit;
+ * the base must be recomputed after every resize (vectors may move).
+ */
+template <typename T>
+T *
+alignedStorage(std::vector<T> &v, size_t count)
+{
+    v.resize(count + kPanelAlign / sizeof(T));
+    void *p = v.data();
+    size_t space = v.size() * sizeof(T);
+    return static_cast<T *>(
+        std::align(kPanelAlign, count * sizeof(T), p, space));
+}
+
+/** op(B) dims: k rows by n cols (Trans::A has no meaning for a RHS). */
+void
+opShape(size_t rows, size_t cols, Gemm::Trans trans, size_t &k, size_t &n)
+{
+    if (trans == Gemm::Trans::A) {
+        throw std::invalid_argument(
+            "packed weights: op(B) transpose must be Trans::None or "
+            "Trans::B");
+    }
+    if (trans == Gemm::Trans::B) {
+        k = cols;
+        n = rows;
+    } else {
+        k = rows;
+        n = cols;
+    }
+}
+
+} // namespace
+
+void
+PackedMatrix::adoptShape(size_t k, size_t n, Gemm::Trans trans)
+{
+    // The fp32 and int8 packs are two views of one logical weight; a
+    // shape or transpose disagreement means the caller packed two
+    // different operands into one slot.
+    const bool holds = fp32Src_ || int8Src_;
+    if (holds && (k != k_ || n != n_ || trans != trans_)) {
+        throw std::invalid_argument(
+            strfmt("packed weights: op-shape [%zu x %zu] disagrees with "
+                   "the already-packed [%zu x %zu]",
+                   k, n, k_, n_));
+    }
+    k_ = k;
+    n_ = n;
+    trans_ = trans;
+}
+
+void
+PackedMatrix::packFp32(const Matrix &b, Gemm::Trans trans)
+{
+    size_t k = 0, n = 0;
+    opShape(b.rows(), b.cols(), trans, k, n);
+    adoptShape(k, n, trans);
+    const size_t nPanels = (n + detail::kNr - 1) / detail::kNr;
+    fp32Base_ = alignedStorage(fp32Panels_, nPanels * k * detail::kNr);
+    for (size_t jp = 0; jp < nPanels; ++jp) {
+        const size_t j0 = jp * detail::kNr;
+        detail::packBPanel(fp32Base_ + jp * k * detail::kNr, b, trans,
+                           j0, std::min(detail::kNr, n - j0), 0, k);
+    }
+    fp32Src_ = &b;
+}
+
+void
+PackedMatrix::packInt8(const QuantizedMatrix &b, Gemm::Trans trans)
+{
+    if (b.kind() != QuantizedMatrix::Kind::WeightS8) {
+        throw std::invalid_argument(
+            "packed weights: int8 pack needs a WeightS8 operand (the "
+            "only RHS the quantized multiply accepts)");
+    }
+    size_t k = 0, n = 0;
+    opShape(b.rows(), b.cols(), trans, k, n);
+    adoptShape(k, n, trans);
+    const size_t quads = (k + 3) / 4;
+    const size_t nPanels = (n + detail::kNr8 - 1) / detail::kNr8;
+    int8Base_ =
+        alignedStorage(int8Panels_, nPanels * quads * detail::kNr8 * 4);
+    for (size_t jp = 0; jp < nPanels; ++jp) {
+        const size_t j0 = jp * detail::kNr8;
+        detail::packBPanelInt8(
+            int8Base_ + jp * quads * detail::kNr8 * 4, b, trans, j0,
+            std::min(detail::kNr8, n - j0), k, quads);
+    }
+    // Per-column sums of op(B) for the dequant zero-point correction,
+    // the dispatcher's exact integer loops run once at pack time
+    // (integer sums: any evaluation point yields identical values).
+    wsum_.assign(n, 0);
+    if (trans == Gemm::Trans::B) {
+        // op(B)(kk, j) = b(j, kk): column sums are b's row sums.
+        for (size_t j = 0; j < n; ++j) {
+            const int8_t *brow = b.rowPtr(j);
+            int32_t s = 0;
+            for (size_t kk = 0; kk < k; ++kk)
+                s += brow[kk];
+            wsum_[j] = s;
+        }
+    } else {
+        for (size_t kk = 0; kk < k; ++kk) {
+            const int8_t *brow = b.rowPtr(kk);
+            for (size_t j = 0; j < n; ++j)
+                wsum_[j] += brow[j];
+        }
+    }
+    int8Src_ = &b;
+}
+
+size_t
+PackedMatrix::packedBytes() const
+{
+    return fp32Panels_.size() * sizeof(float) +
+           int8Panels_.size() * sizeof(int8_t) +
+           wsum_.size() * sizeof(int32_t);
+}
+
+} // namespace vitality

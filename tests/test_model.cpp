@@ -119,7 +119,7 @@ testEncoderBatchMatchesPerImage()
 {
     // A small config keeps the three-kernel sweep fast while exercising
     // the same code paths as the DeiT presets.
-    const VitConfig cfg{"Test-Small", 2, 3, 48, 19, 96, {}};
+    const VitConfig cfg{"Test-Small", 2, 3, 48, 19, 96, {}, {}};
     cfg.validate();
     Rng rng(0x3422);
     const Batch x = Batch::randn(3, cfg.tokens, cfg.dModel, rng);
@@ -207,7 +207,7 @@ testEncoderRejectsConcurrentCalls()
     // forward while one is in flight must be refused, not silently
     // corrupt them. The blocking kernel parks the first call inside the
     // attention phase of layer 0.
-    const VitConfig cfg{"Test-Tiny", 1, 1, 8, 5, 16, {}};
+    const VitConfig cfg{"Test-Tiny", 1, 1, 8, 5, 16, {}, {}};
     auto kernel = std::make_shared<BlockingKernel>();
     VitEncoder encoder(cfg, kernel, 0x2222);
     ThreadPool pool(2);
@@ -240,7 +240,7 @@ testEncoderMatchesUnfusedReference()
     // documented to be bitwise-identical to the separate op passes, so
     // a hand-rolled one-layer reference built from the value ops must
     // match the encoder output exactly.
-    const VitConfig cfg{"Test-1L", 1, 2, 16, 9, 32, {}};
+    const VitConfig cfg{"Test-1L", 1, 2, 16, 9, 32, {}, {}};
     cfg.validate();
     Rng rng(0x34aa);
     const Matrix x = Matrix::randn(cfg.tokens, cfg.dModel, rng);
